@@ -1,0 +1,145 @@
+// Benchmarks regenerating every figure of the paper's evaluation
+// (Section 6 and appendix). Each BenchmarkFigureN runs the corresponding
+// scenario grid — graph shapes × query sizes × algorithms — at the
+// bench-scale tuning (see harness.BenchTuning; override with the
+// RMQ_BENCH_BUDGET_MS / RMQ_BENCH_LONG_MS / RMQ_BENCH_CASES environment
+// variables) and prints one summary line per scenario with the final
+// median approximation error α per algorithm: the same series the
+// paper's plots show, at the final checkpoint. Set RMQ_BENCH_VERBOSE=1
+// for the full per-checkpoint tables.
+//
+// Each benchmark iteration is a complete figure regeneration, so these
+// run meaningfully with the default -benchtime (b.N stays 1) or with
+// -benchtime=1x. For higher-fidelity runs, use cmd/experiments.
+//
+// The per-table ablation benches of the design choices called out in
+// DESIGN.md (climbing step, plan cache, α schedule) live next to the
+// core package: see BenchmarkAblationClimb, BenchmarkAblationCache and
+// BenchmarkAblationAlpha in internal/core.
+package rmq_test
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"testing"
+
+	"rmq/internal/baselines/weighted"
+	"rmq/internal/catalog"
+	"rmq/internal/core"
+	"rmq/internal/harness"
+	"rmq/internal/opt"
+)
+
+// runFigure executes every scenario of one figure and reports the final
+// median α of RMQ (geometric mean across scenarios) as a custom metric.
+func runFigure(b *testing.B, scenarios []harness.Scenario, label string) {
+	verbose := os.Getenv("RMQ_BENCH_VERBOSE") == "1"
+	for i := 0; i < b.N; i++ {
+		logSum, count := 0.0, 0
+		for _, s := range scenarios {
+			res := harness.Run(s)
+			if verbose {
+				fmt.Println(res.Table())
+			} else {
+				fmt.Printf("  [%s] %s\n", label, res.Summary())
+			}
+			for _, series := range res.Series {
+				if series.Algorithm != "RMQ" {
+					continue
+				}
+				a := series.Alpha[len(series.Alpha)-1]
+				if !math.IsInf(a, 1) && !math.IsNaN(a) {
+					logSum += math.Log10(a)
+					count++
+				}
+			}
+		}
+		if count > 0 {
+			b.ReportMetric(math.Pow(10, logSum/float64(count)), "rmq-final-alpha-gm")
+		}
+	}
+}
+
+// BenchmarkFigure1 reproduces Figure 1: median α over time, two cost
+// metrics, chain/cycle/star × {10,25,50,75,100} tables, all algorithms.
+func BenchmarkFigure1(b *testing.B) {
+	runFigure(b, harness.Figure1(harness.BenchTuning()), "fig1")
+}
+
+// BenchmarkFigure2 reproduces Figure 2: as Figure 1 with three metrics.
+func BenchmarkFigure2(b *testing.B) {
+	runFigure(b, harness.Figure2(harness.BenchTuning()), "fig2")
+}
+
+// BenchmarkFigure3 reproduces Figure 3: median climbing path length and
+// number of Pareto plans found by RMQ versus query size.
+func BenchmarkFigure3(b *testing.B) {
+	scenarios := harness.Figure3(harness.BenchTuning())
+	for i := 0; i < b.N; i++ {
+		for _, s := range scenarios {
+			res := harness.Run(s)
+			fmt.Printf("  [fig3] %-30s path=%5.1f pareto=%5.0f\n",
+				s.Name, res.MedianPathLength, res.MedianParetoPlans)
+		}
+	}
+}
+
+// BenchmarkFigure4 reproduces Figure 4: two metrics, MinMax
+// selectivities, {25,50,75,100} tables.
+func BenchmarkFigure4(b *testing.B) {
+	runFigure(b, harness.Figure4(harness.BenchTuning()), "fig4")
+}
+
+// BenchmarkFigure5 reproduces Figure 5: as Figure 4 with three metrics.
+func BenchmarkFigure5(b *testing.B) {
+	runFigure(b, harness.Figure5(harness.BenchTuning()), "fig5")
+}
+
+// BenchmarkFigure6 reproduces Figure 6: the long-budget (paper: 30 s)
+// comparison, two metrics, {50,100} tables.
+func BenchmarkFigure6(b *testing.B) {
+	runFigure(b, harness.Figure6(harness.BenchTuning()), "fig6")
+}
+
+// BenchmarkFigure7 reproduces Figure 7: as Figure 6 with three metrics.
+func BenchmarkFigure7(b *testing.B) {
+	runFigure(b, harness.Figure7(harness.BenchTuning()), "fig7")
+}
+
+// BenchmarkFigure8 reproduces Figure 8: precise error against a DP(1.01)
+// reference on small ({4,8}-table) queries, two metrics.
+func BenchmarkFigure8(b *testing.B) {
+	runFigure(b, harness.Figure8(harness.BenchTuning()), "fig8")
+}
+
+// BenchmarkFigure9 reproduces Figure 9: as Figure 8 with three metrics.
+func BenchmarkFigure9(b *testing.B) {
+	runFigure(b, harness.Figure9(harness.BenchTuning()), "fig9")
+}
+
+// BenchmarkExtensionWeightedSum quantifies the related-work remark that
+// scalarizing with varying weight vectors recovers at most the convex
+// hull of the Pareto frontier: it runs the WS baseline alongside RMQ on
+// one mid-size scenario. WS's α stays above RMQ's because non-convex
+// trade-offs minimize no weighted sum.
+func BenchmarkExtensionWeightedSum(b *testing.B) {
+	tn := harness.BenchTuning()
+	s := harness.Scenario{
+		Name:        "extension: WS vs RMQ, star, 50 tables, 3 metrics",
+		Graph:       catalog.Star,
+		Tables:      50,
+		Metrics:     3,
+		Selectivity: catalog.Steinbrunn,
+		Budget:      tn.Budget * 4,
+		Checkpoints: tn.Checkpoints,
+		Cases:       tn.Cases,
+		BaseSeed:    tn.BaseSeed,
+		Algorithms:  []opt.Factory{weighted.Factory(), core.Factory()},
+		Parallel:    tn.Parallel,
+	}
+	for i := 0; i < b.N; i++ {
+		res := harness.Run(s)
+		fmt.Printf("  [ext-ws] %s\n", res.Summary())
+	}
+}

@@ -1,0 +1,97 @@
+// Command experiments regenerates the tables behind every figure of the
+// paper's evaluation (Figures 1-9). For each figure it runs the scenario
+// grid — join graph shapes × query sizes × cost metric counts — over all
+// eight algorithms and prints the median approximation error α per
+// checkpoint, which is exactly the data the paper plots.
+//
+// The defaults scale the paper's 3 s / 30 s budgets and 20 test cases
+// down so a full regeneration takes minutes; raise -budget, -long-budget
+// and -cases for higher fidelity:
+//
+//	experiments                 # all figures, scaled defaults
+//	experiments -fig 1,2        # only Figures 1 and 2
+//	experiments -fig 8 -budget 3s -long-budget 30s -cases 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"rmq/internal/harness"
+)
+
+func main() {
+	tuning := harness.DefaultTuning()
+	var (
+		figs        = flag.String("fig", "all", "comma-separated figure ids (1-9) or 'all'")
+		budget      = flag.Duration("budget", tuning.Budget, "per-algorithm budget for the short experiments (paper: 3s)")
+		longBudget  = flag.Duration("long-budget", tuning.LongBudget, "per-algorithm budget for Figures 6-9 (paper: 30s)")
+		cases       = flag.Int("cases", tuning.Cases, "test cases per data point (paper: 20)")
+		casesSmall  = flag.Int("cases-small", tuning.CasesSmall, "test cases for the small-query Figures 8/9 (paper: 10)")
+		checkpoints = flag.Int("checkpoints", tuning.Checkpoints, "measurement points per run")
+		seed        = flag.Uint64("seed", tuning.BaseSeed, "base random seed")
+		parallel    = flag.Int("parallel", 0, "concurrent test cases (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	tuning.Budget = *budget
+	tuning.LongBudget = *longBudget
+	tuning.Cases = *cases
+	tuning.CasesSmall = *casesSmall
+	tuning.Checkpoints = *checkpoints
+	tuning.BaseSeed = *seed
+	tuning.Parallel = *parallel
+
+	ids, err := parseFigures(*figs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(2)
+	}
+
+	all := harness.Figures(tuning)
+	start := time.Now()
+	for _, id := range ids {
+		fmt.Printf("======== Figure %d ========\n", id)
+		if id == 3 {
+			runFigure3(all[id])
+			continue
+		}
+		for _, s := range all[id] {
+			res := harness.Run(s)
+			fmt.Println(res.Table())
+		}
+	}
+	fmt.Printf("total experiment time: %v\n", time.Since(start).Round(time.Second))
+}
+
+// runFigure3 prints the two panels of Figure 3: median climbing path
+// length and median number of Pareto plans found by RMQ.
+func runFigure3(scenarios []harness.Scenario) {
+	fmt.Println("graph, tables -> median climb path length | median Pareto plans (RMQ, 3 metrics)")
+	for _, s := range scenarios {
+		res := harness.Run(s)
+		fmt.Printf("%-28s path=%5.1f  pareto=%5.0f\n",
+			s.Name, res.MedianPathLength, res.MedianParetoPlans)
+	}
+}
+
+func parseFigures(arg string) ([]int, error) {
+	if arg == "all" {
+		return []int{1, 2, 3, 4, 5, 6, 7, 8, 9}, nil
+	}
+	var ids []int
+	for _, part := range strings.Split(arg, ",") {
+		id, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || id < 1 || id > 9 {
+			return nil, fmt.Errorf("bad figure id %q", part)
+		}
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids, nil
+}

@@ -1,0 +1,97 @@
+// Command rmqopt optimizes one (generated) query with a selectable
+// multi-objective algorithm and prints the approximated Pareto frontier
+// of cost trade-offs, the plan realizing each trade-off, and the plan a
+// weighted preference would select.
+//
+// Examples:
+//
+//	rmqopt -tables 30 -graph star -metrics 3 -timeout 1s
+//	rmqopt -tables 8 -algo dp -dp-alpha 1.01
+//	rmqopt -tables 100 -algo nsga2 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"rmq"
+)
+
+func main() {
+	var (
+		tables  = flag.Int("tables", 20, "number of tables to join")
+		graph   = flag.String("graph", "chain", "join graph shape: chain, cycle or star")
+		sel     = flag.String("sel", "steinbrunn", "selectivity model: steinbrunn or minmax")
+		metrics = flag.Int("metrics", 3, "number of cost metrics (1-3: time, buffer, disc)")
+		algo    = flag.String("algo", "rmq", "algorithm: rmq, ii, sa, 2p, nsga2 or dp")
+		dpAlpha = flag.Float64("dp-alpha", 2, "approximation factor for -algo dp")
+		timeout = flag.Duration("timeout", time.Second, "optimization time budget")
+		iters   = flag.Int("iters", 0, "optional cap on optimizer iterations (0 = none)")
+		seed    = flag.Uint64("seed", 1, "random seed for workload and optimizer")
+		plans   = flag.Bool("plans", false, "print the operator tree of every frontier plan")
+	)
+	flag.Parse()
+
+	spec := rmq.WorkloadSpec{Tables: *tables}
+	switch strings.ToLower(*graph) {
+	case "chain":
+		spec.Graph = rmq.Chain
+	case "cycle":
+		spec.Graph = rmq.Cycle
+	case "star":
+		spec.Graph = rmq.Star
+	default:
+		fatalf("unknown graph %q", *graph)
+	}
+	switch strings.ToLower(*sel) {
+	case "steinbrunn":
+		spec.Selectivity = rmq.Steinbrunn
+	case "minmax":
+		spec.Selectivity = rmq.MinMax
+	default:
+		fatalf("unknown selectivity model %q", *sel)
+	}
+	if *metrics < 1 || *metrics > 3 {
+		fatalf("metrics must be 1-3")
+	}
+	all := []rmq.Metric{rmq.MetricTime, rmq.MetricBuffer, rmq.MetricDisc}
+
+	cat := rmq.GenerateCatalog(spec, *seed)
+	fmt.Printf("workload: %d tables, %s graph, %s selectivities (seed %d)\n",
+		*tables, *graph, *sel, *seed)
+
+	frontier, err := rmq.Optimize(cat, rmq.Options{
+		Metrics:       all[:*metrics],
+		Timeout:       *timeout,
+		MaxIterations: *iters,
+		Seed:          *seed,
+		Algorithm:     rmq.Algorithm(strings.ToLower(*algo)),
+		DPAlpha:       *dpAlpha,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	fmt.Println()
+	fmt.Print(frontier)
+	if len(frontier.Plans) == 0 {
+		fmt.Println("no plans found within the budget (DP needs small queries)")
+		return
+	}
+	if *plans {
+		fmt.Println()
+		for i, p := range frontier.Plans {
+			fmt.Printf("plan %d %v: %s\n", i, p.Cost, p)
+		}
+	}
+	best := frontier.Best(map[rmq.Metric]float64{rmq.MetricTime: 1})
+	fmt.Printf("\nfastest plan (time-weighted preference): cost %v\n  %s\n", best.Cost, best)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rmqopt: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,87 @@
+// Approxfrontier renders the interactive-optimization scenario of the
+// paper (users pick a plan from a visualization of available cost
+// trade-offs): it approximates the Pareto frontier of a 30-table query
+// at increasing time budgets and draws each frontier as an ASCII
+// log-log scatter plot, showing how the anytime approximation sharpens
+// as RMQ iterates and its α precision is refined.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"strings"
+	"time"
+
+	"rmq"
+)
+
+const (
+	plotW = 64
+	plotH = 16
+)
+
+func main() {
+	cat := rmq.GenerateCatalog(rmq.WorkloadSpec{
+		Tables: 30,
+		Graph:  rmq.Cycle,
+	}, 11)
+
+	for _, budget := range []time.Duration{
+		50 * time.Millisecond,
+		400 * time.Millisecond,
+		1600 * time.Millisecond,
+	} {
+		frontier, err := rmq.Optimize(cat, rmq.Options{
+			Metrics: []rmq.Metric{rmq.MetricTime, rmq.MetricBuffer},
+			Timeout: budget,
+			Seed:    5,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== budget %v: %d plans after %d iterations ===\n",
+			budget, len(frontier.Plans), frontier.Iterations)
+		plot(frontier)
+		fmt.Println()
+	}
+	fmt.Println("x: execution time (log), y: buffer pages (log); each * is one")
+	fmt.Println("Pareto plan — the menu an interactive optimizer offers the user.")
+}
+
+// plot draws the frontier as a log-log ASCII scatter.
+func plot(f *rmq.Frontier) {
+	if len(f.Plans) == 0 {
+		fmt.Println("(empty frontier)")
+		return
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	logOf := func(v float64) float64 { return math.Log10(math.Max(v, 1)) }
+	for _, p := range f.Plans {
+		x, y := logOf(p.Cost.At(0)), logOf(p.Cost.At(1))
+		minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+		minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, plotH)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", plotW))
+	}
+	for _, p := range f.Plans {
+		x, y := logOf(p.Cost.At(0)), logOf(p.Cost.At(1))
+		col := int((x - minX) / (maxX - minX) * float64(plotW-1))
+		row := int((y - minY) / (maxY - minY) * float64(plotH-1))
+		grid[plotH-1-row][col] = '*'
+	}
+	fmt.Printf("buffer 10^%.1f\n", maxY)
+	for _, row := range grid {
+		fmt.Printf("  |%s|\n", row)
+	}
+	fmt.Printf("buffer 10^%.1f  time: 10^%.1f .. 10^%.1f\n", minY, minX, maxX)
+}

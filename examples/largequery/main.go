@@ -1,0 +1,69 @@
+// Largequery demonstrates the paper's headline result: dynamic
+// programming based multi-objective optimizers cannot handle large
+// queries at all, while the randomized RMQ algorithm approximates the
+// Pareto frontier of a 100-table query in under a second. The example
+// runs both on the same workload with the same budget and reports what
+// each delivered — reproducing the qualitative content of Figures 1/2 at
+// the largest query size.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"rmq"
+)
+
+func main() {
+	const tables = 100
+	budget := time.Second
+	cat := rmq.GenerateCatalog(rmq.WorkloadSpec{
+		Tables: tables,
+		Graph:  rmq.Star,
+	}, 3)
+	metrics := []rmq.Metric{rmq.MetricTime, rmq.MetricBuffer, rmq.MetricDisc}
+
+	fmt.Printf("workload: %d-table star join, three cost metrics, %v budget each\n\n", tables, budget)
+
+	// The DP approximation scheme — even with the coarsest possible
+	// precision — must fill frontiers for all 2^100 table subsets before
+	// it reports anything. It will not get anywhere near that.
+	dpFrontier, err := rmq.Optimize(cat, rmq.Options{
+		Algorithm: rmq.AlgoDP,
+		DPAlpha:   1000, // coarsest setting the paper evaluates
+		Metrics:   metrics,
+		Timeout:   budget,
+		Seed:      1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("DP(1000):  %d plans after %v (needs to enumerate 2^%d table sets)\n",
+		len(dpFrontier.Plans), dpFrontier.Elapsed.Round(time.Millisecond), tables)
+
+	// RMQ: polynomial work per iteration, first plans after the first
+	// iteration, anytime refinement afterwards.
+	rmqFrontier, err := rmq.Optimize(cat, rmq.Options{
+		Algorithm: rmq.AlgoRMQ,
+		Metrics:   metrics,
+		Timeout:   budget,
+		Seed:      1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("RMQ:       %d plans after %v (%d iterations)\n\n",
+		len(rmqFrontier.Plans), rmqFrontier.Elapsed.Round(time.Millisecond), rmqFrontier.Iterations)
+
+	if len(rmqFrontier.Plans) > 0 {
+		fmt.Println("sample of RMQ's cost trade-offs (time | buffer | disc):")
+		step := len(rmqFrontier.Plans)/5 + 1
+		for i := 0; i < len(rmqFrontier.Plans); i += step {
+			fmt.Printf("  %v\n", rmqFrontier.Plans[i].Cost)
+		}
+	}
+	fmt.Println("\nthis is the scalability gap of the paper: exponential-time DP")
+	fmt.Println("schemes return nothing for 25+ tables, the randomized optimizer")
+	fmt.Println("covers 100-table queries with a polynomial-time iteration.")
+}

@@ -1,0 +1,48 @@
+// Quickstart: optimize a generated 20-table query under two cost metrics
+// and pick plans by preference — the minimal end-to-end use of the rmq
+// library.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"rmq"
+)
+
+func main() {
+	// A random 20-table chain query, as used throughout the paper's
+	// evaluation. Real applications build a catalog from their schema
+	// with rmq.NewCatalog instead.
+	cat := rmq.GenerateCatalog(rmq.WorkloadSpec{
+		Tables: 20,
+		Graph:  rmq.Chain,
+	}, 42)
+
+	// Approximate the Pareto frontier of execution-time vs. buffer-space
+	// trade-offs with half a second of optimization.
+	frontier, err := rmq.Optimize(cat, rmq.Options{
+		Metrics: []rmq.Metric{rmq.MetricTime, rmq.MetricBuffer},
+		Timeout: 500 * time.Millisecond,
+		Seed:    1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(frontier)
+
+	// Automatic selection from the frontier, as in the paper's
+	// introduction: either weights expressing relative importance ...
+	fast := frontier.Best(map[rmq.Metric]float64{rmq.MetricTime: 10, rmq.MetricBuffer: 1})
+	lean := frontier.Best(map[rmq.Metric]float64{rmq.MetricTime: 1, rmq.MetricBuffer: 10})
+	fmt.Printf("\ntime-leaning choice:   %v\n", fast.Cost)
+	fmt.Printf("buffer-leaning choice: %v\n", lean.Cost)
+
+	// ... or hard cost bounds.
+	within := frontier.WithinBounds(map[rmq.Metric]float64{rmq.MetricBuffer: 1000})
+	fmt.Printf("\nplans fitting a 1000-page buffer budget: %d\n", len(within))
+	if len(within) > 0 {
+		fmt.Printf("best of those: %v\n  %s\n", within[0].Cost, within[0])
+	}
+}

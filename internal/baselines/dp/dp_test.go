@@ -1,0 +1,297 @@
+package dp
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"rmq/internal/catalog"
+	"rmq/internal/costmodel"
+	"rmq/internal/opt"
+	"rmq/internal/plan"
+	"rmq/internal/quality"
+	"rmq/internal/tableset"
+)
+
+func testProblem(tb testing.TB, n int, seed uint64) *opt.Problem {
+	tb.Helper()
+	rng := rand.New(rand.NewPCG(seed, 5))
+	cat := catalog.Generate(catalog.GenSpec{Tables: n, Graph: catalog.Chain, Selectivity: catalog.Steinbrunn}, rng)
+	return opt.NewProblem(cat, costmodel.AllMetrics())
+}
+
+func runToCompletion(tb testing.TB, o *DP, p *opt.Problem) {
+	tb.Helper()
+	o.Init(p, 0)
+	for i := 0; i < 1_000_000; i++ {
+		if !o.Step() {
+			if !o.Done() {
+				tb.Fatal("DP aborted")
+			}
+			return
+		}
+	}
+	tb.Fatal("DP did not finish in step budget")
+}
+
+func TestName(t *testing.T) {
+	if Name(math.Inf(1)) != "DP(Infinity)" {
+		t.Errorf("Name(inf) = %q", Name(math.Inf(1)))
+	}
+	if Name(2) != "DP(2)" {
+		t.Errorf("Name(2) = %q", Name(2))
+	}
+	if Name(1.01) != "DP(1.01)" {
+		t.Errorf("Name(1.01) = %q", Name(1.01))
+	}
+}
+
+func TestDPFrontierOnlyWhenDone(t *testing.T) {
+	p := testProblem(t, 5, 1)
+	o := New(2)
+	o.Init(p, 0)
+	if o.Frontier() != nil {
+		t.Error("frontier exposed before completion")
+	}
+	o.Step()
+	if o.Frontier() != nil {
+		t.Error("frontier exposed mid-run")
+	}
+	runToCompletion(t, o, p)
+	if len(o.Frontier()) == 0 {
+		t.Error("no frontier after completion")
+	}
+}
+
+func TestDPFrontierPlansValid(t *testing.T) {
+	p := testProblem(t, 5, 2)
+	o := New(2)
+	runToCompletion(t, o, p)
+	for _, fp := range o.Frontier() {
+		if err := fp.Validate(); err != nil {
+			t.Fatalf("invalid DP plan: %v", err)
+		}
+		if fp.Rel != p.Query {
+			t.Fatalf("DP plan joins %v", fp.Rel)
+		}
+	}
+}
+
+// bruteForcePlans enumerates every bushy plan (all partitions, all
+// operator combinations) for the given table set. Exponential — tiny
+// queries only.
+func bruteForcePlans(m *costmodel.Model, s tableset.Set, memo map[tableset.Set][]*plan.Plan) []*plan.Plan {
+	if got, ok := memo[s]; ok {
+		return got
+	}
+	var out []*plan.Plan
+	if s.Count() == 1 {
+		for _, op := range plan.AllScanOps() {
+			out = append(out, m.NewScan(s.Min(), op))
+		}
+	} else {
+		s.SubsetsOf(func(left, right tableset.Set) bool {
+			for _, pair := range [][2]tableset.Set{{left, right}, {right, left}} {
+				for _, outer := range bruteForcePlans(m, pair[0], memo) {
+					for _, inner := range bruteForcePlans(m, pair[1], memo) {
+						for _, op := range plan.JoinOps(outer, inner) {
+							out = append(out, m.NewJoin(op, outer, inner))
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	memo[s] = out
+	return out
+}
+
+// paretoByFormat filters plans to the per-output-format Pareto set with
+// unique cost vectors (the invariant DP(1) maintains).
+func paretoByFormat(plans []*plan.Plan) map[plan.OutputProp][]*plan.Plan {
+	out := map[plan.OutputProp][]*plan.Plan{}
+	for _, p := range plans {
+		set := out[p.Output]
+		dominated := false
+		for _, q := range set {
+			if q.Cost.Dominates(p.Cost) {
+				dominated = true
+				break
+			}
+		}
+		if dominated {
+			continue
+		}
+		keep := set[:0]
+		for _, q := range set {
+			if !p.Cost.Dominates(q.Cost) {
+				keep = append(keep, q)
+			}
+		}
+		out[p.Output] = append(keep, p)
+	}
+	return out
+}
+
+// TestDPExactMatchesBruteForce is the central correctness test: DP with
+// α=1 must compute exactly the Pareto frontier (per output format) of
+// the full bushy plan space.
+func TestDPExactMatchesBruteForce(t *testing.T) {
+	for seed := uint64(0); seed < 3; seed++ {
+		p := testProblem(t, 3, 100+seed)
+		o := New(1)
+		runToCompletion(t, o, p)
+
+		brute := bruteForcePlans(p.Model, p.Query, map[tableset.Set][]*plan.Plan{})
+		want := paretoByFormat(brute)
+		got := paretoByFormat(o.Frontier())
+
+		for format, wantSet := range want {
+			gotSet := got[format]
+			if len(gotSet) != len(wantSet) {
+				t.Fatalf("seed %d format %v: DP kept %d plans, brute force %d",
+					seed, format, len(gotSet), len(wantSet))
+			}
+			for _, wp := range wantSet {
+				found := false
+				for _, gp := range gotSet {
+					if gp.Cost.Equal(wp.Cost) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("seed %d: Pareto cost %v missing from DP frontier", seed, wp.Cost)
+				}
+			}
+		}
+	}
+}
+
+// TestDPApproximationGuarantee verifies the formal guarantee of the
+// approximation scheme: the DP(α) frontier α-approximates the exact
+// frontier.
+func TestDPApproximationGuarantee(t *testing.T) {
+	for _, alpha := range []float64{1.01, 2, 10} {
+		p := testProblem(t, 4, 7)
+		exact := New(1)
+		runToCompletion(t, exact, p)
+		approx := New(alpha)
+		runToCompletion(t, approx, p)
+		got := quality.Epsilon(opt.Costs(approx.Frontier()), quality.NonDominated(opt.Costs(exact.Frontier())))
+		if got > alpha+1e-9 {
+			t.Errorf("DP(%g) frontier has α = %g > %g", alpha, got, alpha)
+		}
+		if la, le := len(approx.Frontier()), len(exact.Frontier()); la > le {
+			t.Errorf("DP(%g) kept more plans (%d) than exact (%d)", alpha, la, le)
+		}
+	}
+}
+
+func TestDPInfinityKeepsFewPlans(t *testing.T) {
+	p := testProblem(t, 5, 8)
+	o := New(math.Inf(1))
+	runToCompletion(t, o, p)
+	if got := len(o.Frontier()); got > plan.NumOutputProps {
+		t.Errorf("DP(∞) kept %d plans, want ≤ %d (one per output format)", got, plan.NumOutputProps)
+	}
+}
+
+func TestDPAlphaMonotoneFrontierSize(t *testing.T) {
+	p := testProblem(t, 5, 9)
+	sizes := map[float64]int{}
+	for _, alpha := range []float64{1, 1.5, 5, 1000} {
+		o := New(alpha)
+		runToCompletion(t, o, p)
+		sizes[alpha] = len(o.Frontier())
+	}
+	if sizes[1] < sizes[1.5] || sizes[1.5] < sizes[5] || sizes[5] < sizes[1000] {
+		t.Errorf("frontier sizes not monotone in α: %v", sizes)
+	}
+}
+
+func TestDPComputesAllSubsets(t *testing.T) {
+	p := testProblem(t, 4, 10)
+	o := New(2)
+	runToCompletion(t, o, p)
+	for mask := 1; mask < 16; mask++ {
+		var s tableset.Set
+		for i := 0; i < 4; i++ {
+			if mask&(1<<i) != 0 {
+				s = s.Add(i)
+			}
+		}
+		if len(o.FrontierOf(s)) == 0 {
+			t.Errorf("no frontier for subset %v", s)
+		}
+	}
+}
+
+func TestDPDeterministic(t *testing.T) {
+	run := func() []float64 {
+		p := testProblem(t, 4, 11)
+		o := New(2)
+		runToCompletion(t, o, p)
+		var out []float64
+		for _, fp := range o.Frontier() {
+			for k := 0; k < fp.Cost.Dim(); k++ {
+				out = append(out, fp.Cost.At(k))
+			}
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic frontier size")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("non-deterministic frontier")
+		}
+	}
+}
+
+func TestNextCombination(t *testing.T) {
+	c := firstCombination(2)
+	var seen [][2]int
+	for {
+		seen = append(seen, [2]int{c[0], c[1]})
+		if !nextCombination(c, 4) {
+			break
+		}
+	}
+	want := [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}
+	if len(seen) != len(want) {
+		t.Fatalf("enumerated %v", seen)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("combination order: %v, want %v", seen, want)
+		}
+	}
+}
+
+func TestDPSingleTableQuery(t *testing.T) {
+	p := testProblem(t, 1, 12)
+	o := New(1)
+	o.Init(p, 0)
+	for o.Step() {
+	}
+	if !o.Done() {
+		t.Fatal("not done")
+	}
+	if len(o.Frontier()) == 0 {
+		t.Fatal("no scan plans for single-table query")
+	}
+}
+
+func BenchmarkDP2Tables8(b *testing.B) {
+	p := testProblem(b, 8, 1)
+	for i := 0; i < b.N; i++ {
+		o := New(2)
+		o.Init(p, 0)
+		for o.Step() {
+		}
+	}
+}

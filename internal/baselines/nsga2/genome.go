@@ -1,0 +1,98 @@
+// Package nsga2 implements the NSGA-II baseline: the non-dominated sort
+// genetic algorithm II of Deb et al., applied to multi-objective query
+// optimization with the ordinal plan encoding and single-point crossover
+// used for genetic query optimization by Steinbrunn et al. (paper,
+// Section 6.1; population size 200, following the original evaluation).
+package nsga2
+
+import (
+	"math/rand/v2"
+
+	"rmq/internal/costmodel"
+	"rmq/internal/plan"
+)
+
+// genome is the ordinal encoding of a bushy query plan over n tables:
+//
+//	genes[0 .. n-1]    scan operator gene per table
+//	genes[n + 3k + 0]  k-th join: ordinal of the first operand in the
+//	                   working list of partial plans (taken modulo the
+//	                   current list length)
+//	genes[n + 3k + 1]  ordinal of the second operand among the remaining
+//	                   list entries
+//	genes[n + 3k + 2]  ordinal of the join operator among the operators
+//	                   applicable to the chosen inner input
+//
+// Every gene value is valid for every position (ordinals are reduced
+// modulo the number of available choices), so single-point crossover and
+// uniform gene mutation always yield decodable genomes — the property
+// ordinal encodings are used for.
+type genome []uint16
+
+// genomeLen returns the gene count for an n-table query.
+func genomeLen(n int) int { return n + 3*(n-1) }
+
+// randomGenome draws a uniformly random genome.
+func randomGenome(n int, rng *rand.Rand) genome {
+	g := make(genome, genomeLen(n))
+	for i := range g {
+		g[i] = uint16(rng.IntN(1 << 16))
+	}
+	return g
+}
+
+// decode builds the plan a genome encodes. tables is the fixed ascending
+// table-id list of the query; work is a reusable scratch slice (may be
+// nil).
+func decode(m *costmodel.Model, tables []int, g genome, work []*plan.Plan) *plan.Plan {
+	n := len(tables)
+	work = work[:0]
+	for i, t := range tables {
+		op := plan.AllScanOps()[int(g[i])%plan.NumScanOps]
+		work = append(work, m.NewScan(t, op))
+	}
+	pos := n
+	for k := 0; k < n-1; k++ {
+		size := len(work)
+		ai := int(g[pos]) % size
+		bi := int(g[pos+1]) % (size - 1)
+		if bi >= ai {
+			bi++
+		}
+		outer, inner := work[ai], work[bi]
+		ops := plan.JoinOpsFor(inner.Output)
+		op := ops[int(g[pos+2])%len(ops)]
+		pos += 3
+		joined := m.NewJoin(op, outer, inner)
+		// Remove both operands (larger index first) and append the join.
+		hi, lo := ai, bi
+		if hi < lo {
+			hi, lo = lo, hi
+		}
+		work[hi] = work[size-1]
+		work = work[:size-1]
+		work[lo] = work[len(work)-1]
+		work = work[:len(work)-1]
+		work = append(work, joined)
+	}
+	return work[0]
+}
+
+// crossover performs single-point crossover of two parent genomes,
+// writing the children into c1 and c2 (which must have parent length).
+func crossover(p1, p2, c1, c2 genome, rng *rand.Rand) {
+	point := 1 + rng.IntN(len(p1)-1)
+	copy(c1[:point], p1[:point])
+	copy(c1[point:], p2[point:])
+	copy(c2[:point], p2[:point])
+	copy(c2[point:], p1[point:])
+}
+
+// mutation flips each gene to a fresh uniform value with probability pm.
+func mutation(g genome, pm float64, rng *rand.Rand) {
+	for i := range g {
+		if rng.Float64() < pm {
+			g[i] = uint16(rng.IntN(1 << 16))
+		}
+	}
+}

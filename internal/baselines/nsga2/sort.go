@@ -1,0 +1,112 @@
+package nsga2
+
+import (
+	"math"
+	"sort"
+)
+
+// individual is one member of the NSGA-II population.
+type individual struct {
+	genes genome
+	costs []float64 // decoded plan cost components
+	rank  int       // front index after non-dominated sorting (0 = best)
+	crowd float64   // crowding distance within its front
+}
+
+// dominates reports Pareto strict dominance of a's costs over b's.
+func dominates(a, b *individual) bool {
+	strict := false
+	for i := range a.costs {
+		switch {
+		case a.costs[i] > b.costs[i]:
+			return false
+		case a.costs[i] < b.costs[i]:
+			strict = true
+		}
+	}
+	return strict
+}
+
+// fastNonDominatedSort assigns ranks (fronts) to the population and
+// returns the fronts in order, following Deb et al.'s O(M·N²) procedure.
+func fastNonDominatedSort(pop []*individual) [][]*individual {
+	n := len(pop)
+	dominatedBy := make([][]int, n) // indices each individual dominates
+	domCount := make([]int, n)      // number of individuals dominating i
+	var fronts [][]*individual
+	var current []int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			switch {
+			case dominates(pop[i], pop[j]):
+				dominatedBy[i] = append(dominatedBy[i], j)
+				domCount[j]++
+			case dominates(pop[j], pop[i]):
+				dominatedBy[j] = append(dominatedBy[j], i)
+				domCount[i]++
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if domCount[i] == 0 {
+			pop[i].rank = 0
+			current = append(current, i)
+		}
+	}
+	rank := 0
+	for len(current) > 0 {
+		front := make([]*individual, 0, len(current))
+		for _, i := range current {
+			front = append(front, pop[i])
+		}
+		fronts = append(fronts, front)
+		var next []int
+		for _, i := range current {
+			for _, j := range dominatedBy[i] {
+				domCount[j]--
+				if domCount[j] == 0 {
+					pop[j].rank = rank + 1
+					next = append(next, j)
+				}
+			}
+		}
+		current = next
+		rank++
+	}
+	return fronts
+}
+
+// crowdingDistance assigns Deb et al.'s crowding distance to every member
+// of one front: boundary solutions get +Inf; interior solutions the sum
+// over objectives of the normalized distance between their neighbors.
+func crowdingDistance(front []*individual) {
+	n := len(front)
+	for _, ind := range front {
+		ind.crowd = 0
+	}
+	if n == 0 {
+		return
+	}
+	objectives := len(front[0].costs)
+	for m := 0; m < objectives; m++ {
+		sort.Slice(front, func(i, j int) bool { return front[i].costs[m] < front[j].costs[m] })
+		lo, hi := front[0].costs[m], front[n-1].costs[m]
+		front[0].crowd = math.Inf(1)
+		front[n-1].crowd = math.Inf(1)
+		if hi <= lo {
+			continue
+		}
+		for i := 1; i < n-1; i++ {
+			front[i].crowd += (front[i+1].costs[m] - front[i-1].costs[m]) / (hi - lo)
+		}
+	}
+}
+
+// crowdedLess is the crowded-comparison operator ≺n: lower rank wins;
+// within a rank, larger crowding distance wins.
+func crowdedLess(a, b *individual) bool {
+	if a.rank != b.rank {
+		return a.rank < b.rank
+	}
+	return a.crowd > b.crowd
+}

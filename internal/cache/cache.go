@@ -1,0 +1,159 @@
+// Package cache implements the partial-plan Pareto cache of Algorithm 1
+// (the P variable) together with the two pruning functions of the paper:
+// Prune from Algorithm 2 (exact Pareto pruning per output format, used
+// during climbing) and PruneApprox from Algorithm 3 (α-approximate
+// pruning, which bounds the number of cached plans per table set
+// polynomially, Lemma 6).
+//
+// The cache maps every table set encountered so far (a potentially useful
+// intermediate result) to the non-dominated partial plans generating it.
+// It is the mechanism by which RMQ shares partial plans across iterations
+// of the main loop: newly generated plans are decomposed and dominated
+// sub-plans are replaced by cached Pareto partial plans, possibly with
+// different join orders.
+package cache
+
+import (
+	"rmq/internal/cost"
+	"rmq/internal/plan"
+	"rmq/internal/tableset"
+)
+
+// Better is the plan comparison of Algorithm 2: p1 is better than p2 if
+// it produces the same output data representation and its cost strictly
+// dominates.
+func Better(p1, p2 *plan.Plan) bool {
+	return plan.SameOutput(p1, p2) && p1.Cost.StrictlyDominates(p2.Cost)
+}
+
+// SigBetter is the coarsened comparison of Algorithm 3: p1 is
+// significantly better than p2 under factor α if it produces the same
+// output representation and approximately dominates it (p1 ⪯α p2).
+func SigBetter(p1, p2 *plan.Plan, alpha float64) bool {
+	return plan.SameOutput(p1, p2) && p1.Cost.ApproxDominates(p2.Cost, alpha)
+}
+
+// Prune is the pruning function of Algorithm 2: it inserts newPlan into
+// plans unless some existing plan with the same output format strictly
+// dominates it, removing existing plans that newPlan is Better than. The
+// input slice is modified in place and the updated slice returned.
+func Prune(plans []*plan.Plan, newPlan *plan.Plan) []*plan.Plan {
+	for _, p := range plans {
+		if Better(p, newPlan) {
+			return plans
+		}
+	}
+	keep := plans[:0]
+	for _, p := range plans {
+		if !Better(newPlan, p) {
+			keep = append(keep, p)
+		}
+	}
+	return append(keep, newPlan)
+}
+
+// WouldAdmit reports whether a plan with the given cost vector and output
+// representation would pass PruneApprox's admission test against plans.
+// Hot loops use it to discard candidates before allocating plan nodes.
+func WouldAdmit(plans []*plan.Plan, vec cost.Vector, out plan.OutputProp, alpha float64) bool {
+	for _, p := range plans {
+		if p.Output == out && p.Cost.ApproxDominates(vec, alpha) {
+			return false
+		}
+	}
+	return true
+}
+
+// PruneApprox is the pruning function of Algorithm 3: the new plan is
+// admitted only if no existing same-output plan approximately dominates
+// it under factor α; on admission, existing plans that the new plan
+// (weakly) dominates are evicted. It returns the updated slice and
+// whether the new plan was admitted. With α = 1 the result is a plain
+// Pareto set per output format; larger α yields the sparser
+// α-approximate frontiers whose size Lemma 6 bounds.
+func PruneApprox(plans []*plan.Plan, newPlan *plan.Plan, alpha float64) ([]*plan.Plan, bool) {
+	if !WouldAdmit(plans, newPlan.Cost, newPlan.Output, alpha) {
+		return plans, false
+	}
+	keep := plans[:0]
+	for _, p := range plans {
+		if !SigBetter(newPlan, p, 1) {
+			keep = append(keep, p)
+		}
+	}
+	return append(keep, newPlan), true
+}
+
+// Bucket holds the frontier of one table set. Obtaining the bucket once
+// and operating on it directly avoids repeated map lookups in the
+// frontier-approximation inner loops.
+type Bucket struct {
+	plans []*plan.Plan
+	cache *Cache
+}
+
+// Plans returns the bucket's frontier; callers must not modify it.
+func (b *Bucket) Plans() []*plan.Plan { return b.plans }
+
+// Admits reports whether a plan with the given cost and output
+// representation would be admitted under factor α.
+func (b *Bucket) Admits(vec cost.Vector, out plan.OutputProp, alpha float64) bool {
+	return WouldAdmit(b.plans, vec, out, alpha)
+}
+
+// Insert prunes newPlan into the bucket with PruneApprox and reports
+// whether it was admitted.
+func (b *Bucket) Insert(newPlan *plan.Plan, alpha float64) bool {
+	before := len(b.plans)
+	updated, admitted := PruneApprox(b.plans, newPlan, alpha)
+	b.plans = updated
+	if b.cache != nil {
+		b.cache.plans += len(updated) - before
+	}
+	return admitted
+}
+
+// Cache is the plan cache P: for each table set, the frontier of
+// non-dominated partial plans found so far. Not safe for concurrent use;
+// each optimizer run owns one.
+type Cache struct {
+	buckets map[tableset.Set]*Bucket
+	plans   int
+}
+
+// New returns an empty cache.
+func New() *Cache {
+	return &Cache{buckets: make(map[tableset.Set]*Bucket)}
+}
+
+// Bucket returns the bucket for the table set, creating it if absent.
+func (c *Cache) Bucket(rel tableset.Set) *Bucket {
+	b := c.buckets[rel]
+	if b == nil {
+		b = &Bucket{cache: c}
+		c.buckets[rel] = b
+	}
+	return b
+}
+
+// Get returns the cached frontier for the table set (P[rel]); nil if the
+// set was never seen. Callers must not modify the returned slice.
+func (c *Cache) Get(rel tableset.Set) []*plan.Plan {
+	if b := c.buckets[rel]; b != nil {
+		return b.plans
+	}
+	return nil
+}
+
+// Insert prunes newPlan into the frontier of its table set using
+// PruneApprox with the given α and reports whether it was admitted.
+func (c *Cache) Insert(newPlan *plan.Plan, alpha float64) bool {
+	return c.Bucket(newPlan.Rel).Insert(newPlan, alpha)
+}
+
+// NumSets returns the number of distinct table sets with cached plans.
+func (c *Cache) NumSets() int { return len(c.buckets) }
+
+// NumPlans returns the total number of cached plans across all table
+// sets.
+func (c *Cache) NumPlans() int { return c.plans }

@@ -1,0 +1,205 @@
+package catalog
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func testCatalog(t *testing.T) *Catalog {
+	t.Helper()
+	cat, err := New(
+		[]Table{{Name: "a", Rows: 1000}, {Name: "b", Rows: 100}, {Name: "c", Rows: 10}},
+		[]Edge{{A: 0, B: 1, Selectivity: 0.01}, {A: 1, B: 2, Selectivity: 0.5}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		tables []Table
+		edges  []Edge
+	}{
+		{"no tables", nil, nil},
+		{"zero cardinality", []Table{{Rows: 0}}, nil},
+		{"bad edge index", []Table{{Rows: 1}}, []Edge{{A: 0, B: 5, Selectivity: 0.5}}},
+		{"self edge", []Table{{Rows: 1}, {Rows: 1}}, []Edge{{A: 0, B: 0, Selectivity: 0.5}}},
+		{"zero selectivity", []Table{{Rows: 1}, {Rows: 1}}, []Edge{{A: 0, B: 1, Selectivity: 0}}},
+		{"selectivity above one", []Table{{Rows: 1}, {Rows: 1}}, []Edge{{A: 0, B: 1, Selectivity: 1.5}}},
+	}
+	for _, c := range cases {
+		if _, err := New(c.tables, c.edges); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestNewValid(t *testing.T) {
+	cat := testCatalog(t)
+	if cat.NumTables() != 3 {
+		t.Errorf("NumTables = %d", cat.NumTables())
+	}
+	if cat.Table(0).Name != "a" {
+		t.Errorf("Table(0) = %v", cat.Table(0))
+	}
+	if got := cat.AllTables().Count(); got != 3 {
+		t.Errorf("AllTables count = %d", got)
+	}
+	if len(cat.Edges()) != 2 {
+		t.Errorf("Edges = %v", cat.Edges())
+	}
+}
+
+func TestTablePages(t *testing.T) {
+	if got := (Table{Rows: 1000}).Pages(); got != 10 {
+		t.Errorf("Pages(1000 rows) = %g, want 10", got)
+	}
+	if got := (Table{Rows: 5}).Pages(); got != 1 {
+		t.Errorf("Pages(5 rows) = %g, want 1 (floor)", got)
+	}
+}
+
+func TestGraphKindString(t *testing.T) {
+	for kind, want := range map[GraphKind]string{Chain: "chain", Cycle: "cycle", Star: "star"} {
+		if kind.String() != want {
+			t.Errorf("%d.String() = %q, want %q", kind, kind.String(), want)
+		}
+	}
+}
+
+func TestSelectivityModelString(t *testing.T) {
+	if Steinbrunn.String() != "steinbrunn" || MinMax.String() != "minmax" {
+		t.Error("unexpected selectivity model names")
+	}
+}
+
+func TestGenerateGraphShapes(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for _, n := range []int{2, 3, 10} {
+		chain := Generate(GenSpec{Tables: n, Graph: Chain}, rng)
+		if got := len(chain.Edges()); got != n-1 {
+			t.Errorf("chain(%d) has %d edges, want %d", n, got, n-1)
+		}
+		star := Generate(GenSpec{Tables: n, Graph: Star}, rng)
+		if got := len(star.Edges()); got != n-1 {
+			t.Errorf("star(%d) has %d edges, want %d", n, got, n-1)
+		}
+		for _, e := range star.Edges() {
+			if e.A != 0 && e.B != 0 {
+				t.Errorf("star edge (%d,%d) misses hub", e.A, e.B)
+			}
+		}
+		if n > 2 {
+			cycle := Generate(GenSpec{Tables: n, Graph: Cycle}, rng)
+			if got := len(cycle.Edges()); got != n {
+				t.Errorf("cycle(%d) has %d edges, want %d", n, got, n)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministicInSeed(t *testing.T) {
+	a := Generate(GenSpec{Tables: 8, Graph: Chain}, rand.New(rand.NewPCG(7, 9)))
+	b := Generate(GenSpec{Tables: 8, Graph: Chain}, rand.New(rand.NewPCG(7, 9)))
+	for i := 0; i < 8; i++ {
+		if a.Table(i).Rows != b.Table(i).Rows {
+			t.Fatalf("table %d cardinalities differ: %g vs %g", i, a.Table(i).Rows, b.Table(i).Rows)
+		}
+	}
+	for i := range a.Edges() {
+		if a.Edges()[i].Selectivity != b.Edges()[i].Selectivity {
+			t.Fatalf("edge %d selectivities differ", i)
+		}
+	}
+}
+
+func TestRandomCardinalityWithinStrata(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	for i := 0; i < 1000; i++ {
+		c := RandomCardinality(rng)
+		if c < 10 || c > 1_000_000 {
+			t.Fatalf("cardinality %g outside [10, 1e6]", c)
+		}
+	}
+}
+
+func TestRandomCardinalityCoversStrata(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	counts := make([]int, len(cardStrata))
+	for i := 0; i < 5000; i++ {
+		c := RandomCardinality(rng)
+		for si, s := range cardStrata {
+			if c >= s.lo && c <= s.hi {
+				counts[si]++
+				break
+			}
+		}
+	}
+	for si, got := range counts {
+		if got == 0 {
+			t.Errorf("stratum %d never sampled", si)
+		}
+	}
+}
+
+func TestMinMaxSelectivityProperty(t *testing.T) {
+	// Under the MinMax model every join edge's output cardinality lies
+	// between its endpoints' cardinalities (Bruno's property).
+	rng := rand.New(rand.NewPCG(11, 12))
+	for trial := 0; trial < 50; trial++ {
+		cat := Generate(GenSpec{Tables: 10, Graph: Chain, Selectivity: MinMax}, rng)
+		for _, e := range cat.Edges() {
+			ra, rb := cat.Table(e.A).Rows, cat.Table(e.B).Rows
+			out := ra * rb * e.Selectivity
+			lo, hi := math.Min(ra, rb), math.Max(ra, rb)
+			// Allow tiny numeric slack from the clamps.
+			if out < lo*0.99 || out > hi*1.01 {
+				t.Fatalf("edge (%d,%d): output %g outside [%g, %g]", e.A, e.B, out, lo, hi)
+			}
+		}
+	}
+}
+
+func TestSteinbrunnSelectivityRange(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 14))
+	cat := Generate(GenSpec{Tables: 20, Graph: Cycle, Selectivity: Steinbrunn}, rng)
+	for _, e := range cat.Edges() {
+		if e.Selectivity < 1e-4 || e.Selectivity > 1 {
+			t.Fatalf("selectivity %g outside [1e-4, 1]", e.Selectivity)
+		}
+	}
+}
+
+func TestQuickGeneratedCatalogsValid(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 99))
+		n := 2 + int(seed%20)
+		for _, g := range []GraphKind{Chain, Cycle, Star} {
+			for _, m := range []SelectivityModel{Steinbrunn, MinMax} {
+				cat := Generate(GenSpec{Tables: n, Graph: g, Selectivity: m}, rng)
+				if cat.NumTables() != n {
+					return false
+				}
+				for i := 0; i < n; i++ {
+					if cat.Table(i).Rows < 1 {
+						return false
+					}
+				}
+				for _, e := range cat.Edges() {
+					if !(e.Selectivity > 0 && e.Selectivity <= 1) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

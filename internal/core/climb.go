@@ -1,0 +1,237 @@
+// Package core implements RMQ, the paper's primary contribution: the
+// first polynomial-time randomized algorithm for multi-objective query
+// optimization (Algorithms 1–3).
+//
+// This file implements the fast multi-objective hill climbing of
+// Algorithm 2. Compared to naive hill climbing it incorporates both
+// efficiency techniques of Section 4.2:
+//
+//  1. Local pruning by sub-plan cost (multi-objective principle of
+//     optimality): mutations are evaluated at the node they apply to,
+//     never by re-costing the complete plan, reducing per-step complexity
+//     from quadratic to linear in the number of tables.
+//  2. Simultaneous mutations in independent sub-trees: ParetoStep
+//     recursively improves the outer and inner sub-plans before mutating
+//     the node itself, so one climbing step can apply many beneficial
+//     transformations across the tree at once, shortening the path to a
+//     local optimum.
+package core
+
+import (
+	"rmq/internal/cache"
+	"rmq/internal/costmodel"
+	"rmq/internal/mutate"
+	"rmq/internal/plan"
+)
+
+// ClimbConfig tunes the Pareto climbing behavior.
+type ClimbConfig struct {
+	// Space selects the join order space whose transformation rules the
+	// climb applies (Section 4.1: the algorithm adapts to e.g. left-deep
+	// spaces by exchanging the transformation set). Default Bushy.
+	Space mutate.Space
+	// PerFormat selects the faithful Algorithm 2 pruning that keeps a
+	// Pareto set per output data representation at every node. When
+	// false (the default and the assumption of the paper's complexity
+	// analysis, Lemma 2), every ParetoStep instance returns a single
+	// non-dominated plan pruned on cost alone.
+	PerFormat bool
+	// Keep caps the number of plans kept per output format in PerFormat
+	// mode; 0 means the default of 2.
+	Keep int
+	// Naive disables both Section 4.2 optimizations: each climbing step
+	// enumerates all complete single-mutation neighbor plans and moves to
+	// the first strict dominator. Used by the climbing ablation bench.
+	Naive bool
+	// MaxSteps bounds the number of climbing moves as a defensive limit;
+	// 0 means the default of 16·n+64 for an n-table plan (the expected
+	// path length is O(n), Theorem 2, so the bound is never hit in
+	// practice).
+	MaxSteps int
+}
+
+func (c ClimbConfig) keep() int {
+	if c.Keep <= 0 {
+		return 2
+	}
+	return c.Keep
+}
+
+func (c ClimbConfig) maxSteps(n int) int {
+	if c.MaxSteps > 0 {
+		return c.MaxSteps
+	}
+	return 16*n + 64
+}
+
+// Climber performs multi-objective hill climbing over plans of one cost
+// model. It reuses internal buffers and is not safe for concurrent use.
+type Climber struct {
+	model *costmodel.Model
+	cfg   ClimbConfig
+	buf   []*plan.Plan
+}
+
+// NewClimber returns a climber over the model with the given
+// configuration.
+func NewClimber(m *costmodel.Model, cfg ClimbConfig) *Climber {
+	return &Climber{model: m, cfg: cfg}
+}
+
+// Climb is the ParetoClimb function of Algorithm 2: it repeatedly applies
+// climbing steps until no step yields a plan strictly dominating the
+// current one, returning the locally Pareto-optimal plan and the path
+// length (number of improving moves) — the statistic of Figure 3.
+func (c *Climber) Climb(p *plan.Plan) (*plan.Plan, int) {
+	limit := c.cfg.maxSteps(p.Rel.Count())
+	steps := 0
+	for steps < limit {
+		next := c.step(p)
+		if next == nil {
+			break
+		}
+		p = next
+		steps++
+	}
+	return p, steps
+}
+
+// step performs one climbing move, returning a plan that strictly
+// dominates p, or nil when p is a local Pareto optimum for the step
+// function.
+func (c *Climber) step(p *plan.Plan) *plan.Plan {
+	if c.cfg.Naive {
+		return c.naiveStep(p)
+	}
+	if c.cfg.Space != mutate.Bushy {
+		// Restricted plan spaces use the generic single-incumbent step
+		// over the space's transformation rules.
+		if pm := c.genericParetoStep(p); pm.Cost.StrictlyDominates(p.Cost) {
+			return pm
+		}
+		return nil
+	}
+	if !c.cfg.PerFormat {
+		// Single-incumbent mode uses the allocation-free fast path.
+		if pm := c.fastParetoStep(p); pm.Cost.StrictlyDominates(p.Cost) {
+			return pm
+		}
+		return nil
+	}
+	for _, pm := range c.paretoStep(p) {
+		if pm.Cost.StrictlyDominates(p.Cost) {
+			return pm
+		}
+	}
+	return nil
+}
+
+// genericParetoStep is the single-incumbent ParetoStep over an arbitrary
+// transformation set (used for restricted plan spaces): children are
+// improved recursively, then every mutation of the rebuilt node is tried
+// and the incumbent replaced by strict dominators.
+func (c *Climber) genericParetoStep(p *plan.Plan) *plan.Plan {
+	if !p.IsJoin() {
+		best := p
+		for _, op := range plan.AllScanOps() {
+			if op == p.Scan {
+				continue
+			}
+			if cand := c.model.NewScan(p.Table, op); cand.Cost.StrictlyDominates(best.Cost) {
+				best = cand
+			}
+		}
+		return best
+	}
+	outer := c.genericParetoStep(p.Outer)
+	inner := c.genericParetoStep(p.Inner)
+	rebuilt := p
+	if outer != p.Outer || inner != p.Inner {
+		rebuilt = c.model.NewJoinWithCard(mutate.PickRootOp(p.Join, inner.Output), outer, inner, p.Card)
+	}
+	best := rebuilt
+	c.buf = mutate.AppendIn(c.cfg.Space, c.model, rebuilt, c.buf[:0])
+	for _, mu := range c.buf {
+		if mu.Cost.StrictlyDominates(best.Cost) {
+			best = mu
+		}
+	}
+	return best
+}
+
+// naiveStep is the baseline climbing step of the ablation: it generates
+// every complete neighbor plan (one mutation at one node each) and moves
+// to the first strict dominator, exactly like classic single-objective
+// iterative improvement generalized to Pareto dominance.
+func (c *Climber) naiveStep(p *plan.Plan) *plan.Plan {
+	for _, nb := range mutate.AllNeighbors(c.model, p) {
+		if nb.Cost.StrictlyDominates(p.Cost) {
+			return nb
+		}
+	}
+	return nil
+}
+
+// paretoStep is the ParetoStep function of Algorithm 2: it recursively
+// improves the outer and inner sub-plans, then tries every mutation of
+// the node over every improved sub-plan pair, pruning the results. In the
+// default single-plan mode the returned slice has exactly one element.
+func (c *Climber) paretoStep(p *plan.Plan) []*plan.Plan {
+	var result []*plan.Plan
+	if p.IsJoin() {
+		outerPareto := c.paretoStep(p.Outer)
+		innerPareto := c.paretoStep(p.Inner)
+		for _, outer := range outerPareto {
+			for _, inner := range innerPareto {
+				// Sub-plan mutations preserve table sets, so the node's
+				// output cardinality is unchanged.
+				rebuilt := c.model.NewJoinWithCard(mutate.PickRootOp(p.Join, inner.Output), outer, inner, p.Card)
+				c.buf = mutate.Append(c.model, rebuilt, c.buf[:0])
+				for _, mutated := range c.buf {
+					result = c.prune(result, mutated)
+				}
+			}
+		}
+	} else {
+		c.buf = mutate.Append(c.model, p, c.buf[:0])
+		for _, mutated := range c.buf {
+			result = c.prune(result, mutated)
+		}
+	}
+	return result
+}
+
+// prune inserts a mutated plan into the candidate set of one ParetoStep
+// instance. In single-plan mode the incumbent is replaced only by strict
+// dominators ("arbitrarily select one neighbor that strictly dominates",
+// Section 4.2). In PerFormat mode the pruning is the Prune function of
+// Algorithm 2, additionally capped at Keep plans per output format to
+// avoid the combinatorial explosion the paper warns about.
+func (c *Climber) prune(set []*plan.Plan, np *plan.Plan) []*plan.Plan {
+	if !c.cfg.PerFormat {
+		if len(set) == 0 {
+			return append(set, np)
+		}
+		if np.Cost.StrictlyDominates(set[0].Cost) {
+			set[0] = np
+		}
+		return set
+	}
+	sameFormat := 0
+	evicts := false
+	for _, q := range set {
+		if plan.SameOutput(q, np) {
+			sameFormat++
+			if cache.Better(q, np) {
+				return set
+			}
+			if cache.Better(np, q) {
+				evicts = true
+			}
+		}
+	}
+	if sameFormat >= c.cfg.keep() && !evicts {
+		return set
+	}
+	return cache.Prune(set, np)
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"rmq/internal/cost"
+	"rmq/internal/costmodel"
+	"rmq/internal/mutate"
+	"rmq/internal/plan"
+)
+
+// This file implements the allocation-free fast path of the default
+// (single-incumbent) climbing mode. It enumerates the cost vectors of all
+// local mutations of a join node in exactly the order of mutate.Append —
+// operator exchange, commutativity, then the four structural rules — and
+// materializes only the finally selected candidate. A test cross-checks
+// the fast path against the mutate.Append-based reference step on random
+// plans.
+
+// fastParetoStep is paretoStep specialized for the single-plan mode: it
+// returns one plan that weakly dominates (and, if any improving mutation
+// exists, strictly dominates) the corresponding sub-plan of p.
+func (c *Climber) fastParetoStep(p *plan.Plan) *plan.Plan {
+	if !p.IsJoin() {
+		best := p
+		for _, op := range plan.AllScanOps() {
+			if op == p.Scan {
+				continue
+			}
+			if cand := c.model.NewScan(p.Table, op); cand.Cost.StrictlyDominates(best.Cost) {
+				best = cand
+			}
+		}
+		return best
+	}
+	outer := c.fastParetoStep(p.Outer)
+	inner := c.fastParetoStep(p.Inner)
+	rebuilt := p
+	if outer != p.Outer || inner != p.Inner {
+		rebuilt = c.model.NewJoinWithCard(mutate.PickRootOp(p.Join, inner.Output), outer, inner, p.Card)
+	}
+	// First pass: find the index of the winning mutation by cost alone.
+	best := -1
+	bestVec := rebuilt.Cost
+	enumerateJoinMutations(c.model, rebuilt, func(idx int, vec cost.Vector) {
+		if vec.StrictlyDominates(bestVec) {
+			best = idx
+			bestVec = vec
+		}
+	})
+	if best < 0 {
+		return rebuilt
+	}
+	// Second pass: materialize only the winner.
+	return buildJoinMutation(c.model, rebuilt, best)
+}
+
+// enumerateJoinMutations invokes visit with the cost vector of every
+// non-identity mutation of join node p, in the canonical order of
+// mutate.Append.
+func enumerateJoinMutations(m *costmodel.Model, p *plan.Plan, visit func(idx int, vec cost.Vector)) {
+	outer, inner := p.Outer, p.Inner
+	rootCard := p.Card
+	idx := 0
+	// Operator exchange.
+	for _, op := range plan.JoinOpsFor(inner.Output) {
+		if op != p.Join {
+			visit(idx, m.JoinCostParts(op, outer.Cost, outer.Card, inner.Cost, inner.Card, rootCard))
+			idx++
+		}
+	}
+	// Commutativity.
+	for _, op := range plan.JoinOpsFor(outer.Output) {
+		visit(idx, m.JoinCostParts(op, inner.Cost, inner.Card, outer.Cost, outer.Card, rootCard))
+		idx++
+	}
+	// Structural rules (see mutate.Append for the rule derivations).
+	emit := func(childOuter, childInner, fixed *plan.Plan, childIsInner bool) {
+		childCard := m.JoinCard(childOuter, childInner)
+		for _, cop := range plan.JoinOpsFor(childInner.Output) {
+			childVec := m.JoinCostParts(cop, childOuter.Cost, childOuter.Card, childInner.Cost, childInner.Card, childCard)
+			childOut := cop.Output()
+			var vec cost.Vector
+			if childIsInner {
+				rop := mutate.PickRootOp(p.Join, childOut)
+				vec = m.JoinCostParts(rop, fixed.Cost, fixed.Card, childVec, childCard, rootCard)
+			} else {
+				rop := mutate.PickRootOp(p.Join, fixed.Output)
+				vec = m.JoinCostParts(rop, childVec, childCard, fixed.Cost, fixed.Card, rootCard)
+			}
+			visit(idx, vec)
+			idx++
+		}
+	}
+	if outer.IsJoin() {
+		a, b := outer.Outer, outer.Inner
+		emit(b, inner, a, true)  // associativity: (A⋈B)⋈C → A⋈(B⋈C)
+		emit(a, inner, b, false) // left join exchange: (A⋈B)⋈C → (A⋈C)⋈B
+	}
+	if inner.IsJoin() {
+		b, cc := inner.Outer, inner.Inner
+		emit(outer, b, cc, false) // associativity mirror: A⋈(B⋈C) → (A⋈B)⋈C
+		emit(outer, cc, b, true)  // right join exchange: A⋈(B⋈C) → B⋈(A⋈C)
+	}
+}
+
+// buildJoinMutation materializes mutation number want of join node p,
+// using the same enumeration order as enumerateJoinMutations.
+func buildJoinMutation(m *costmodel.Model, p *plan.Plan, want int) *plan.Plan {
+	outer, inner := p.Outer, p.Inner
+	rootCard := p.Card
+	idx := 0
+	for _, op := range plan.JoinOpsFor(inner.Output) {
+		if op != p.Join {
+			if idx == want {
+				return m.NewJoinWithCard(op, outer, inner, rootCard)
+			}
+			idx++
+		}
+	}
+	for _, op := range plan.JoinOpsFor(outer.Output) {
+		if idx == want {
+			return m.NewJoinWithCard(op, inner, outer, rootCard)
+		}
+		idx++
+	}
+	build := func(childOuter, childInner, fixed *plan.Plan, childIsInner bool) *plan.Plan {
+		childCard := m.JoinCard(childOuter, childInner)
+		for _, cop := range plan.JoinOpsFor(childInner.Output) {
+			if idx != want {
+				idx++
+				continue
+			}
+			child := m.NewJoinWithCard(cop, childOuter, childInner, childCard)
+			if childIsInner {
+				rop := mutate.PickRootOp(p.Join, child.Output)
+				return m.NewJoinWithCard(rop, fixed, child, rootCard)
+			}
+			rop := mutate.PickRootOp(p.Join, fixed.Output)
+			return m.NewJoinWithCard(rop, child, fixed, rootCard)
+		}
+		return nil
+	}
+	if outer.IsJoin() {
+		a, b := outer.Outer, outer.Inner
+		if pl := build(b, inner, a, true); pl != nil {
+			return pl
+		}
+		if pl := build(a, inner, b, false); pl != nil {
+			return pl
+		}
+	}
+	if inner.IsJoin() {
+		b, cc := inner.Outer, inner.Inner
+		if pl := build(outer, b, cc, false); pl != nil {
+			return pl
+		}
+		if pl := build(outer, cc, b, true); pl != nil {
+			return pl
+		}
+	}
+	panic("core: buildJoinMutation index out of range")
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"math"
+
+	"rmq/internal/cache"
+	"rmq/internal/costmodel"
+	"rmq/internal/plan"
+)
+
+// DefaultAlpha is the paper's approximation-precision schedule
+// (Algorithm 3, line 21): α = 25 · 0.99^⌊i/25⌋ for iteration counter i,
+// floored at 1. The schedule starts coarse so early iterations explore
+// many join orders quickly and refines as iterations progress, letting
+// the approximation converge towards the true Pareto frontier.
+func DefaultAlpha(iteration int) float64 {
+	a := 25 * math.Pow(0.99, math.Floor(float64(iteration)/25))
+	if a < 1 {
+		return 1
+	}
+	return a
+}
+
+// approximateFrontiers is the ApproximateFrontiers function of
+// Algorithm 3: it approximates the Pareto frontier of every intermediate
+// result appearing in plan p, traversing the plan tree in post-order. For
+// every join node it recombines all cached partial Pareto plans of the
+// two input table sets (which may use different join orders, discovered
+// in earlier iterations) with every applicable join operator; for every
+// scan it tries every scan operator. New plans are pruned into the cache
+// with approximation factor alpha.
+func approximateFrontiers(m *costmodel.Model, p *plan.Plan, pc *cache.Cache, alpha float64) {
+	if p.IsJoin() {
+		approximateFrontiers(m, p.Outer, pc, alpha)
+		approximateFrontiers(m, p.Inner, pc, alpha)
+		outers := pc.Get(p.Outer.Rel)
+		inners := pc.Get(p.Inner.Rel)
+		// Iterating the children's frontiers while inserting into the
+		// parent's is safe: the table sets differ, so the buckets are
+		// distinct.
+		bucket := pc.Bucket(p.Rel)
+		card := p.Card // p joins exactly the table set whose frontier we build
+		for _, outer := range outers {
+			for _, inner := range inners {
+				for _, op := range plan.JoinOps(outer, inner) {
+					// Evaluate the candidate's cost first; only plans
+					// passing the α-admission test are materialized.
+					vec := m.JoinCost(op, outer, inner, card)
+					if !bucket.Admits(vec, op.Output(), alpha) {
+						continue
+					}
+					bucket.Insert(m.NewJoinWithCard(op, outer, inner, card), alpha)
+				}
+			}
+		}
+	} else {
+		for _, op := range plan.AllScanOps() {
+			pc.Insert(m.NewScan(p.Table, op), alpha)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"rmq/internal/mutate"
+	"rmq/internal/randplan"
+)
+
+func TestLeftDeepClimbStaysLeftDeep(t *testing.T) {
+	m := testModel(t, 10, 71)
+	rng := rand.New(rand.NewPCG(72, 72))
+	c := NewClimber(m, ClimbConfig{Space: mutate.LeftDeep})
+	for i := 0; i < 15; i++ {
+		p := randplan.RandomLeftDeep(m, m.Catalog().AllTables(), rng)
+		optPlan, _ := c.Climb(p)
+		if !mutate.IsLeftDeep(optPlan) {
+			t.Fatalf("left-deep climb produced bushy plan: %v", optPlan)
+		}
+		if !optPlan.Cost.Dominates(p.Cost) {
+			t.Fatal("left-deep climb worsened plan")
+		}
+		if err := optPlan.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRMQLeftDeepSpace(t *testing.T) {
+	p := testProblem(t, 9, 73)
+	r := New(Config{Space: mutate.LeftDeep})
+	r.Init(p, 5)
+	for i := 0; i < 25; i++ {
+		r.Step()
+	}
+	front := r.Frontier()
+	if len(front) == 0 {
+		t.Fatal("left-deep RMQ produced no plans")
+	}
+	for _, fp := range front {
+		if !mutate.IsLeftDeep(fp) {
+			t.Fatalf("left-deep RMQ cached bushy plan: %v", fp)
+		}
+		if err := fp.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestLeftDeepVsBushyCoverage checks the paper's remark behind the
+// unconstrained-space evaluation: the bushy space can realize cost
+// trade-offs the left-deep space cannot, so with equal iteration counts
+// the bushy frontier is typically at least as large.
+func TestLeftDeepVsBushyCoverage(t *testing.T) {
+	p := testProblem(t, 12, 74)
+	run := func(space mutate.Space) int {
+		r := New(Config{Space: space})
+		r.Init(p, 9)
+		for i := 0; i < 60; i++ {
+			r.Step()
+		}
+		return len(r.Frontier())
+	}
+	bushy := run(mutate.Bushy)
+	leftDeep := run(mutate.LeftDeep)
+	if bushy == 0 || leftDeep == 0 {
+		t.Fatal("empty frontiers")
+	}
+	t.Logf("frontier sizes: bushy=%d left-deep=%d", bushy, leftDeep)
+}
+
+// BenchmarkAblationPlanSpace contrasts the two join order spaces at
+// equal wall-clock work (the Section 4.1 adaptation).
+func BenchmarkAblationPlanSpace(b *testing.B) {
+	for _, space := range []mutate.Space{mutate.Bushy, mutate.LeftDeep} {
+		b.Run(space.String(), func(b *testing.B) {
+			p := testProblem(b, 30, 75)
+			r := New(Config{Space: space})
+			r.Init(p, 11)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.Step()
+			}
+			b.ReportMetric(float64(len(r.Frontier())), "frontier-plans")
+		})
+	}
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"math/rand/v2"
+
+	"rmq/internal/cache"
+	"rmq/internal/mutate"
+	"rmq/internal/opt"
+	"rmq/internal/plan"
+	"rmq/internal/randplan"
+)
+
+// Config tunes the RMQ optimizer. The zero value is the paper's
+// configuration.
+type Config struct {
+	// Space selects the join order space (Section 4.1): Bushy (the
+	// paper's default, unconstrained) or LeftDeep. It determines the
+	// random plan generator and the transformation rules.
+	Space mutate.Space
+	// Climb configures the Pareto climbing phase.
+	Climb ClimbConfig
+	// Alpha overrides the approximation-precision schedule; nil selects
+	// the paper's DefaultAlpha.
+	Alpha func(iteration int) float64
+	// DisableCache disables sharing of partial plans across iterations
+	// (the cache ablation): every iteration approximates frontiers in a
+	// private cache and only the resulting full-query plans are retained.
+	DisableCache bool
+	// DisableFrontier skips the frontier approximation phase entirely
+	// and archives only the locally optimal plans — this degenerates RMQ
+	// into plain iterative improvement and is used by ablation tests.
+	DisableFrontier bool
+}
+
+// Stats exposes per-run statistics of interest to the evaluation
+// (Figure 3 uses PathLengths).
+type Stats struct {
+	// Iterations counts completed iterations of the main loop.
+	Iterations int
+	// PathLengths records, per iteration, the number of climbing moves
+	// from the random plan to its local Pareto optimum.
+	PathLengths []int
+	// CachedSets and CachedPlans describe the plan cache size.
+	CachedSets, CachedPlans int
+}
+
+// RMQ is the randomized multi-objective query optimizer of Algorithm 1.
+// Each Step runs one iteration: generate a random bushy plan, improve it
+// by Pareto climbing, then approximate the Pareto frontiers of all its
+// intermediate results against the plan cache. It implements
+// opt.Optimizer.
+type RMQ struct {
+	cfg     Config
+	problem *opt.Problem
+	rng     *rand.Rand
+	climber *Climber
+	cache   *cache.Cache
+	archive opt.Archive // used only when DisableCache/DisableFrontier
+	iter    int
+	stats   Stats
+}
+
+// New returns an RMQ optimizer with the given configuration; call Init
+// before stepping.
+func New(cfg Config) *RMQ { return &RMQ{cfg: cfg} }
+
+// Factory returns the harness factory for RMQ with the paper's default
+// configuration.
+func Factory() opt.Factory {
+	return opt.Factory{Name: "RMQ", New: func() opt.Optimizer { return New(Config{}) }}
+}
+
+// Name implements opt.Optimizer.
+func (r *RMQ) Name() string { return "RMQ" }
+
+// Init implements opt.Optimizer.
+func (r *RMQ) Init(p *opt.Problem, seed uint64) {
+	r.problem = p
+	r.rng = rand.New(rand.NewPCG(seed, 0x524d51)) // "RMQ"
+	climbCfg := r.cfg.Climb
+	climbCfg.Space = r.cfg.Space
+	r.climber = NewClimber(p.Model, climbCfg)
+	r.cache = cache.New()
+	r.archive.Reset()
+	r.iter = 0
+	r.stats = Stats{}
+}
+
+// Step runs one iteration of the main loop (Algorithm 1) and always
+// reports that more work remains: RMQ is an anytime algorithm that
+// refines its approximation until stopped.
+func (r *RMQ) Step() bool {
+	r.iter++
+	m := r.problem.Model
+
+	// Generate a random plan in the configured join order space.
+	var p *plan.Plan
+	if r.cfg.Space == mutate.LeftDeep {
+		p = randplan.RandomLeftDeep(m, r.problem.Query, r.rng)
+	} else {
+		p = randplan.Random(m, r.problem.Query, r.rng)
+	}
+
+	// Improve the plan via fast multi-objective local search.
+	optPlan, steps := r.climber.Climb(p)
+	r.stats.PathLengths = append(r.stats.PathLengths, steps)
+
+	// Approximate the Pareto frontiers of the plan's intermediate
+	// results with the iteration-dependent precision.
+	alpha := DefaultAlpha(r.iter)
+	if r.cfg.Alpha != nil {
+		alpha = r.cfg.Alpha(r.iter)
+	}
+	switch {
+	case r.cfg.DisableFrontier:
+		r.archive.Add(optPlan)
+	case r.cfg.DisableCache:
+		// Ablation: approximate frontiers in a private cache so no
+		// partial plans are shared across iterations, but keep the
+		// full-query admission identical (same α into the persistent
+		// root bucket) so only the sharing effect is isolated.
+		private := cache.New()
+		approximateFrontiers(m, optPlan, private, alpha)
+		for _, fp := range private.Get(r.problem.Query) {
+			r.cache.Insert(fp, alpha)
+		}
+	default:
+		approximateFrontiers(m, optPlan, r.cache, alpha)
+	}
+
+	r.stats.Iterations = r.iter
+	r.stats.CachedSets = r.cache.NumSets()
+	r.stats.CachedPlans = r.cache.NumPlans()
+	return true
+}
+
+// Frontier implements opt.Optimizer: the cached Pareto plans for the full
+// query table set (P[q] in Algorithm 1).
+func (r *RMQ) Frontier() []*plan.Plan {
+	if r.cfg.DisableFrontier {
+		return r.archive.Plans()
+	}
+	return r.cache.Get(r.problem.Query)
+}
+
+// Stats returns the statistics accumulated since Init.
+func (r *RMQ) Stats() Stats { return r.stats }
+
+// Cache exposes the plan cache for inspection by tests and tools.
+func (r *RMQ) Cache() *cache.Cache { return r.cache }

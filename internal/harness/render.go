@@ -1,0 +1,86 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// FormatAlpha renders an approximation factor compactly: exact values
+// below 100 with three decimals, larger ones as a power of ten (the
+// paper's plots use a log axis for the same reason), and "inf" when the
+// algorithm produced no result at all.
+func FormatAlpha(a float64) string {
+	switch {
+	case math.IsNaN(a):
+		return "n/a"
+	case math.IsInf(a, 1):
+		return "inf"
+	case a < 100:
+		return fmt.Sprintf("%.3f", a)
+	default:
+		return fmt.Sprintf("10^%.1f", math.Log10(a))
+	}
+}
+
+// Table renders the result as an aligned text table: one row per
+// checkpoint, one column per algorithm, cells holding the median α.
+func (r Result) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s (budget %v, %d cases) ==\n",
+		r.Scenario.Name, r.Scenario.Budget, r.Scenario.Cases)
+	headers := []string{"time"}
+	for _, s := range r.Series {
+		headers = append(headers, s.Algorithm)
+	}
+	rows := [][]string{headers}
+	for k, t := range r.Times {
+		row := []string{fmt.Sprintf("%.3fs", t.Seconds())}
+		for _, s := range r.Series {
+			row = append(row, FormatAlpha(s.Alpha[k]))
+		}
+		rows = append(rows, row)
+	}
+	writeAligned(&b, rows)
+	if !math.IsNaN(r.MedianPathLength) {
+		fmt.Fprintf(&b, "RMQ median climb path length: %.1f, median Pareto plans: %.0f\n",
+			r.MedianPathLength, r.MedianParetoPlans)
+	}
+	return b.String()
+}
+
+// writeAligned writes rows with columns padded to equal width.
+func writeAligned(b *strings.Builder, rows [][]string) {
+	if len(rows) == 0 {
+		return
+	}
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(b, "%*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+}
+
+// Summary renders one line per algorithm with the final median α —
+// convenient for quick comparisons and for the bench output.
+func (r Result) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:", r.Scenario.Name)
+	last := len(r.Times) - 1
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, " %s=%s", s.Algorithm, FormatAlpha(s.Alpha[last]))
+	}
+	return b.String()
+}

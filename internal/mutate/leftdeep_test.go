@@ -1,0 +1,133 @@
+package mutate
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"rmq/internal/catalog"
+	"rmq/internal/costmodel"
+	"rmq/internal/plan"
+	"rmq/internal/randplan"
+)
+
+func leftDeepPlan(m *costmodel.Model, seed uint64) *plan.Plan {
+	rng := rand.New(rand.NewPCG(seed, 11))
+	return randplan.RandomLeftDeep(m, m.Catalog().AllTables(), rng)
+}
+
+func TestSpaceString(t *testing.T) {
+	if Bushy.String() != "bushy" || LeftDeep.String() != "left-deep" {
+		t.Error("unexpected space names")
+	}
+}
+
+func TestIsLeftDeep(t *testing.T) {
+	m := testModel(t, 5)
+	ld := leftDeepPlan(m, 1)
+	if !IsLeftDeep(ld) {
+		t.Error("left-deep generator produced non-left-deep plan")
+	}
+	a, b := m.NewScan(0, plan.SeqScan), m.NewScan(1, plan.SeqScan)
+	c, d := m.NewScan(2, plan.SeqScan), m.NewScan(3, plan.SeqScan)
+	bushy := m.NewJoin(plan.MakeJoinOp(plan.Hash, false),
+		m.NewJoin(plan.MakeJoinOp(plan.Hash, true), a, b),
+		m.NewJoin(plan.MakeJoinOp(plan.Hash, true), c, d))
+	if IsLeftDeep(bushy) {
+		t.Error("bushy plan classified as left-deep")
+	}
+	if !IsLeftDeep(a) {
+		t.Error("scan must count as left-deep")
+	}
+}
+
+func TestAppendInDispatches(t *testing.T) {
+	m := testModel(t, 6)
+	p := leftDeepPlan(m, 2)
+	bushyMuts := AppendIn(Bushy, m, p, nil)
+	ldMuts := AppendIn(LeftDeep, m, p, nil)
+	if len(bushyMuts) <= len(ldMuts) {
+		t.Errorf("bushy rule set (%d) should exceed left-deep (%d)", len(bushyMuts), len(ldMuts))
+	}
+}
+
+func TestLeftDeepMutationsStayLeftDeep(t *testing.T) {
+	m := testModel(t, 8)
+	p := leftDeepPlan(m, 3)
+	// Mutations at every node must preserve left-deep shape and validity.
+	var walk func(q *plan.Plan)
+	walk = func(q *plan.Plan) {
+		for _, mu := range AppendIn(LeftDeep, m, q, nil) {
+			if !IsLeftDeep(mu) {
+				t.Fatalf("left-deep mutation produced bushy sub-plan: %v", mu)
+			}
+			if err := mu.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if mu.Rel != q.Rel {
+				t.Fatal("mutation changed table set")
+			}
+		}
+		if q.IsJoin() {
+			walk(q.Outer)
+		}
+	}
+	walk(p)
+}
+
+func TestLeftDeepInnerSwap(t *testing.T) {
+	// ((A ⋈ B) ⋈ C) must yield ((A ⋈ C) ⋈ B) among its mutations.
+	m := testModel(t, 4)
+	a, b, c := m.NewScan(0, plan.SeqScan), m.NewScan(1, plan.SeqScan), m.NewScan(2, plan.SeqScan)
+	root := m.NewJoin(plan.MakeJoinOp(plan.Hash, false),
+		m.NewJoin(plan.MakeJoinOp(plan.Hash, false), a, b), c)
+	found := false
+	for _, mu := range AppendIn(LeftDeep, m, root, nil) {
+		if mu.IsJoin() && mu.Outer.IsJoin() &&
+			mu.Outer.Outer == a && mu.Outer.Inner == c && mu.Inner == b {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("inner swap mutation missing")
+	}
+}
+
+func TestLeftDeepBottomCommute(t *testing.T) {
+	m := testModel(t, 3)
+	a, b := m.NewScan(0, plan.SeqScan), m.NewScan(1, plan.SeqScan)
+	j := m.NewJoin(plan.MakeJoinOp(plan.Hash, false), a, b)
+	found := false
+	for _, mu := range AppendIn(LeftDeep, m, j, nil) {
+		if mu.IsJoin() && mu.Outer == b && mu.Inner == a {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("bottom commute mutation missing")
+	}
+}
+
+func TestQuickLeftDeepClosure(t *testing.T) {
+	// The left-deep rule set is closed over the left-deep space for any
+	// random left-deep plan and any node.
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 13))
+		n := 2 + int(seed%10)
+		cat := catalog.Generate(catalog.GenSpec{Tables: n, Graph: catalog.Chain, Selectivity: catalog.Steinbrunn}, rng)
+		m := costmodel.New(cat, costmodel.AllMetrics())
+		p := randplan.RandomLeftDeep(m, cat.AllTables(), rng)
+		if !IsLeftDeep(p) {
+			return false
+		}
+		for _, mu := range AppendIn(LeftDeep, m, p, nil) {
+			if !IsLeftDeep(mu) || mu.Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,268 @@
+package mutate
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"rmq/internal/catalog"
+	"rmq/internal/costmodel"
+	"rmq/internal/plan"
+	"rmq/internal/randplan"
+)
+
+func testModel(tb testing.TB, n int) *costmodel.Model {
+	tb.Helper()
+	rng := rand.New(rand.NewPCG(123, 456))
+	cat := catalog.Generate(catalog.GenSpec{Tables: n, Graph: catalog.Cycle, Selectivity: catalog.Steinbrunn}, rng)
+	return costmodel.New(cat, costmodel.AllMetrics())
+}
+
+func randomPlan(m *costmodel.Model, seed uint64) *plan.Plan {
+	rng := rand.New(rand.NewPCG(seed, 999))
+	return randplan.Random(m, m.Catalog().AllTables(), rng)
+}
+
+func TestAppendIncludesIdentity(t *testing.T) {
+	m := testModel(t, 6)
+	p := randomPlan(m, 1)
+	muts := Append(m, p, nil)
+	if len(muts) == 0 || muts[0] != p {
+		t.Fatal("identity must be the first mutation")
+	}
+}
+
+func TestAppendScanMutations(t *testing.T) {
+	m := testModel(t, 3)
+	s := m.NewScan(0, plan.SeqScan)
+	muts := Append(m, s, nil)
+	if len(muts) != plan.NumScanOps {
+		t.Fatalf("scan mutations = %d, want %d", len(muts), plan.NumScanOps)
+	}
+	if muts[1].Scan == s.Scan {
+		t.Error("non-identity scan mutation kept the operator")
+	}
+}
+
+func TestAppendPreservesTableSet(t *testing.T) {
+	m := testModel(t, 8)
+	p := randomPlan(m, 2)
+	var walk func(q *plan.Plan)
+	walk = func(q *plan.Plan) {
+		muts := Append(m, q, nil)
+		for _, mu := range muts {
+			if mu.Rel != q.Rel {
+				t.Fatalf("mutation changed table set: %v -> %v", q.Rel, mu.Rel)
+			}
+			if err := mu.Validate(); err != nil {
+				t.Fatalf("invalid mutation: %v", err)
+			}
+		}
+		if q.IsJoin() {
+			walk(q.Outer)
+			walk(q.Inner)
+		}
+	}
+	walk(p)
+}
+
+func TestAppendContainsCommutedPlan(t *testing.T) {
+	m := testModel(t, 4)
+	a, b := m.NewScan(0, plan.SeqScan), m.NewScan(1, plan.SeqScan)
+	j := m.NewJoin(plan.MakeJoinOp(plan.Hash, false), a, b)
+	muts := Append(m, j, nil)
+	found := false
+	for _, mu := range muts {
+		if mu.IsJoin() && mu.Outer == b && mu.Inner == a {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("commutativity mutation missing")
+	}
+}
+
+func TestAppendContainsOperatorExchange(t *testing.T) {
+	m := testModel(t, 4)
+	a, b := m.NewScan(0, plan.SeqScan), m.NewScan(1, plan.SeqScan)
+	j := m.NewJoin(plan.MakeJoinOp(plan.Hash, false), a, b)
+	ops := map[plan.JoinOp]bool{}
+	for _, mu := range Append(m, j, nil) {
+		if mu.IsJoin() && mu.Outer == a && mu.Inner == b {
+			ops[mu.Join] = true
+		}
+	}
+	if len(ops) != len(plan.JoinOpsFor(b.Output)) {
+		t.Errorf("operator exchange covered %d ops, want %d", len(ops), len(plan.JoinOpsFor(b.Output)))
+	}
+}
+
+func TestAppendAssociativity(t *testing.T) {
+	// ((A ⋈ B) ⋈ C) must yield some plan shaped (A ⋈ (B ⋈ C)).
+	m := testModel(t, 4)
+	a, b, c := m.NewScan(0, plan.SeqScan), m.NewScan(1, plan.SeqScan), m.NewScan(2, plan.SeqScan)
+	ab := m.NewJoin(plan.MakeJoinOp(plan.Hash, true), a, b)
+	root := m.NewJoin(plan.MakeJoinOp(plan.Hash, false), ab, c)
+	foundAssoc, foundExchange := false, false
+	for _, mu := range Append(m, root, nil) {
+		if !mu.IsJoin() || !mu.Inner.IsJoin() {
+			continue
+		}
+		if mu.Outer == a && mu.Inner.Outer == b && mu.Inner.Inner == c {
+			foundAssoc = true
+		}
+		if mu.Outer.IsJoin() {
+			continue
+		}
+	}
+	for _, mu := range Append(m, root, nil) {
+		// Left join exchange: (A ⋈ C) ⋈ B.
+		if mu.IsJoin() && mu.Outer.IsJoin() && mu.Outer.Outer == a && mu.Outer.Inner == c && mu.Inner == b {
+			foundExchange = true
+		}
+	}
+	if !foundAssoc {
+		t.Error("associativity mutation missing")
+	}
+	if !foundExchange {
+		t.Error("left join exchange mutation missing")
+	}
+}
+
+func TestPickRootOp(t *testing.T) {
+	hash := plan.MakeJoinOp(plan.Hash, false)
+	bnl := plan.MakeJoinOp(plan.BNL10, false)
+	if got := PickRootOp(hash, plan.Pipelined); got != hash {
+		t.Errorf("applicable op replaced: %v", got)
+	}
+	if got := PickRootOp(bnl, plan.Pipelined); got.Alg().NeedsMaterializedInner() {
+		t.Errorf("fallback still needs materialized inner: %v", got)
+	}
+	if got := PickRootOp(bnl, plan.Materialized); got != bnl {
+		t.Errorf("BNL applicable but replaced: %v", got)
+	}
+}
+
+func TestAllNeighborsValidAndDistinct(t *testing.T) {
+	m := testModel(t, 6)
+	p := randomPlan(m, 3)
+	nbs := AllNeighbors(m, p)
+	if len(nbs) == 0 {
+		t.Fatal("no neighbors")
+	}
+	for _, nb := range nbs {
+		if err := nb.Validate(); err != nil {
+			t.Fatalf("invalid neighbor: %v", err)
+		}
+		if nb.Rel != p.Rel {
+			t.Fatalf("neighbor joins %v, want %v", nb.Rel, p.Rel)
+		}
+	}
+}
+
+func TestAllNeighborsCountScalesWithNodes(t *testing.T) {
+	m := testModel(t, 10)
+	p := randomPlan(m, 4)
+	nbs := AllNeighbors(m, p)
+	nodes := p.NumNodes()
+	// Each node contributes at least one non-identity mutation (scan op
+	// exchange at leaves, operator exchange at joins).
+	if len(nbs) < nodes {
+		t.Errorf("%d neighbors for %d nodes", len(nbs), nodes)
+	}
+}
+
+func TestRandomNeighborValid(t *testing.T) {
+	m := testModel(t, 12)
+	p := randomPlan(m, 5)
+	rng := rand.New(rand.NewPCG(6, 6))
+	for i := 0; i < 200; i++ {
+		nb := RandomNeighbor(m, p, rng)
+		if err := nb.Validate(); err != nil {
+			t.Fatalf("invalid random neighbor: %v", err)
+		}
+		if nb.Rel != p.Rel {
+			t.Fatalf("random neighbor changed table set")
+		}
+		p = nb // walk a chain to exercise varied shapes
+	}
+}
+
+func TestRandomNeighborSingleScan(t *testing.T) {
+	m := testModel(t, 3)
+	p := m.NewScan(0, plan.SeqScan)
+	rng := rand.New(rand.NewPCG(8, 8))
+	nb := RandomNeighbor(m, p, rng)
+	if nb.IsJoin() || nb.Rel != p.Rel {
+		t.Fatalf("neighbor of scan = %v", nb)
+	}
+}
+
+func TestRandomNeighborTouchesAllDepths(t *testing.T) {
+	// The reservoir sampling must be able to mutate deep nodes, not just
+	// the root: over many draws from a fixed left-deep plan, some
+	// neighbor must differ from p in its innermost sub-plan.
+	m := testModel(t, 5)
+	p := m.NewScan(0, plan.SeqScan)
+	for i := 1; i < 5; i++ {
+		p = m.NewJoin(plan.MakeJoinOp(plan.Hash, false), p, m.NewScan(i, plan.SeqScan))
+	}
+	rng := rand.New(rand.NewPCG(10, 10))
+	deepChanged := false
+	for i := 0; i < 300 && !deepChanged; i++ {
+		nb := RandomNeighbor(m, p, rng)
+		// Deep change: the leftmost leaf's scan op differs or the deep
+		// structure was rotated.
+		q := nb
+		depth := 0
+		for q.IsJoin() {
+			q = q.Outer
+			depth++
+		}
+		if depth != 4 || q.Table != 0 || q.Scan != plan.SeqScan {
+			deepChanged = true
+		}
+	}
+	if !deepChanged {
+		t.Error("no deep mutation observed in 300 draws")
+	}
+}
+
+func TestQuickMutationsNeverChangeTableSet(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 77))
+		n := 2 + int(seed%10)
+		cat := catalog.Generate(catalog.GenSpec{Tables: n, Graph: catalog.Chain, Selectivity: catalog.Steinbrunn}, rng)
+		m := costmodel.New(cat, costmodel.AllMetrics())
+		p := randplan.Random(m, cat.AllTables(), rng)
+		for _, nb := range AllNeighbors(m, p) {
+			if nb.Rel != p.Rel || nb.Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAppend50(b *testing.B) {
+	m := testModel(b, 50)
+	p := randomPlan(m, 9)
+	var buf []*plan.Plan
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = Append(m, p, buf[:0])
+	}
+}
+
+func BenchmarkRandomNeighbor100(b *testing.B) {
+	m := testModel(b, 100)
+	p := randomPlan(m, 10)
+	rng := rand.New(rand.NewPCG(2, 3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = RandomNeighbor(m, p, rng)
+	}
+}

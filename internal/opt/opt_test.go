@@ -1,0 +1,114 @@
+package opt
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"rmq/internal/catalog"
+	"rmq/internal/cost"
+	"rmq/internal/costmodel"
+	"rmq/internal/plan"
+	"rmq/internal/tableset"
+)
+
+func testProblem(tb testing.TB) *Problem {
+	tb.Helper()
+	rng := rand.New(rand.NewPCG(1, 1))
+	cat := catalog.Generate(catalog.GenSpec{Tables: 5, Graph: catalog.Chain, Selectivity: catalog.Steinbrunn}, rng)
+	return NewProblem(cat, costmodel.AllMetrics())
+}
+
+func TestNewProblem(t *testing.T) {
+	p := testProblem(t)
+	if p.Dim() != 3 {
+		t.Errorf("Dim = %d", p.Dim())
+	}
+	if p.Query != tableset.Range(5) {
+		t.Errorf("Query = %v", p.Query)
+	}
+	if p.Model == nil {
+		t.Fatal("nil model")
+	}
+}
+
+func mk(costs ...float64) *plan.Plan {
+	return &plan.Plan{Rel: tableset.Range(2), Cost: cost.New(costs...)}
+}
+
+func TestArchiveAdd(t *testing.T) {
+	var a Archive
+	if !a.Add(mk(2, 2)) {
+		t.Fatal("first plan rejected")
+	}
+	if a.Add(mk(3, 3)) {
+		t.Fatal("dominated plan admitted")
+	}
+	if a.Add(mk(2, 2)) {
+		t.Fatal("duplicate cost admitted")
+	}
+	if !a.Add(mk(3, 1)) {
+		t.Fatal("incomparable plan rejected")
+	}
+	if a.Len() != 2 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+	if !a.Add(mk(1, 1)) {
+		t.Fatal("dominating plan rejected")
+	}
+	if a.Len() != 1 {
+		t.Fatalf("Len = %d after global dominator", a.Len())
+	}
+}
+
+func TestArchiveIgnoresOutputFormat(t *testing.T) {
+	var a Archive
+	p1 := mk(1, 1)
+	p1.Output = plan.Materialized
+	p2 := mk(2, 2)
+	p2.Output = plan.Pipelined
+	a.Add(p1)
+	if a.Add(p2) {
+		t.Error("archive must compare on cost alone (final results)")
+	}
+}
+
+func TestArchiveReset(t *testing.T) {
+	var a Archive
+	a.Add(mk(1, 2))
+	a.Reset()
+	if a.Len() != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestCosts(t *testing.T) {
+	plans := []*plan.Plan{mk(1, 2), mk(3, 4)}
+	vecs := Costs(plans)
+	if len(vecs) != 2 || !vecs[0].Equal(cost.New(1, 2)) || !vecs[1].Equal(cost.New(3, 4)) {
+		t.Errorf("Costs = %v", vecs)
+	}
+}
+
+// TestQuickArchiveMutuallyNonDominated: the archive invariant after any
+// insertion sequence.
+func TestQuickArchiveMutuallyNonDominated(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 3))
+		var a Archive
+		for i := 0; i < 50; i++ {
+			a.Add(mk(float64(rng.IntN(20)+1), float64(rng.IntN(20)+1)))
+		}
+		for i, p := range a.Plans() {
+			for j, q := range a.Plans() {
+				if i != j && p.Cost.Dominates(q.Cost) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

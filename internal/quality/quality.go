@@ -1,0 +1,81 @@
+// Package quality implements the approximation-quality metric of the
+// paper's evaluation (Section 6.1): the lowest approximation factor α
+// such that a produced plan set is an α-approximate Pareto set relative
+// to a reference frontier. This is the multiplicative ε-indicator of
+// Zitzler and Thiele with α = 1 + ε; lower is better and α = 1 means the
+// produced set approximates the reference perfectly.
+package quality
+
+import (
+	"math"
+
+	"rmq/internal/cost"
+)
+
+// Epsilon returns the smallest α ≥ 1 such that for every reference cost
+// vector some produced vector approximately dominates it with factor α.
+// An empty produced set yields +Inf (no approximation at all); an empty
+// reference yields 1.
+func Epsilon(produced, reference []cost.Vector) float64 {
+	if len(reference) == 0 {
+		return 1
+	}
+	if len(produced) == 0 {
+		return math.Inf(1)
+	}
+	worst := 1.0
+	for _, r := range reference {
+		best := math.Inf(1)
+		for _, p := range produced {
+			if f := p.DominationFactor(r); f < best {
+				best = f
+				if best <= worst {
+					break // cannot raise the maximum any further
+				}
+			}
+		}
+		if best > worst {
+			worst = best
+		}
+	}
+	return worst
+}
+
+// NonDominated filters a multiset of cost vectors down to its Pareto
+// frontier: vectors not strictly dominated by any other, with exact
+// duplicates collapsed. The input is not modified.
+func NonDominated(vectors []cost.Vector) []cost.Vector {
+	var out []cost.Vector
+	for _, v := range vectors {
+		dominated := false
+		for _, o := range out {
+			if o.Dominates(v) {
+				dominated = true
+				break
+			}
+		}
+		if dominated {
+			continue
+		}
+		keep := out[:0]
+		for _, o := range out {
+			if !v.Dominates(o) {
+				keep = append(keep, o)
+			}
+		}
+		out = append(keep, v)
+	}
+	return out
+}
+
+// Union merges several cost-vector sets into one non-dominated reference
+// frontier, as the paper does when the true Pareto frontier is
+// computationally out of reach ("taking the union of the obtained result
+// plans", Section 6.1).
+func Union(sets ...[]cost.Vector) []cost.Vector {
+	var all []cost.Vector
+	for _, s := range sets {
+		all = append(all, s...)
+	}
+	return NonDominated(all)
+}

@@ -1,0 +1,179 @@
+package quality
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"rmq/internal/cost"
+)
+
+func vecs(rows ...[]float64) []cost.Vector {
+	out := make([]cost.Vector, len(rows))
+	for i, r := range rows {
+		out[i] = cost.New(r...)
+	}
+	return out
+}
+
+func TestEpsilonEmptySets(t *testing.T) {
+	ref := vecs([]float64{1, 1})
+	if got := Epsilon(nil, ref); !math.IsInf(got, 1) {
+		t.Errorf("empty produced set: α = %g, want +Inf", got)
+	}
+	if got := Epsilon(ref, nil); got != 1 {
+		t.Errorf("empty reference: α = %g, want 1", got)
+	}
+}
+
+func TestEpsilonIdentity(t *testing.T) {
+	set := vecs([]float64{1, 4}, []float64{4, 1})
+	if got := Epsilon(set, set); got != 1 {
+		t.Errorf("α(A, A) = %g, want 1", got)
+	}
+}
+
+func TestEpsilonKnownValue(t *testing.T) {
+	produced := vecs([]float64{2, 2})
+	ref := vecs([]float64{1, 1})
+	if got := Epsilon(produced, ref); got != 2 {
+		t.Errorf("α = %g, want 2", got)
+	}
+	// Worst reference point decides.
+	ref = vecs([]float64{1, 1}, []float64{2, 2})
+	if got := Epsilon(produced, ref); got != 2 {
+		t.Errorf("α = %g, want 2", got)
+	}
+	// Best produced point per reference decides.
+	produced = vecs([]float64{2, 2}, []float64{1.5, 1.5})
+	ref = vecs([]float64{1, 1})
+	if got := Epsilon(produced, ref); got != 1.5 {
+		t.Errorf("α = %g, want 1.5", got)
+	}
+}
+
+func TestEpsilonDominatingSetIsPerfect(t *testing.T) {
+	produced := vecs([]float64{0.5, 0.5})
+	ref := vecs([]float64{1, 1}, []float64{2, 0.9})
+	if got := Epsilon(produced, ref); got != 1 {
+		t.Errorf("α = %g, want 1 for dominating set", got)
+	}
+}
+
+func TestNonDominatedFiltersAndDedupes(t *testing.T) {
+	in := vecs(
+		[]float64{1, 4},
+		[]float64{4, 1},
+		[]float64{2, 2},
+		[]float64{5, 5}, // dominated
+		[]float64{1, 4}, // duplicate
+	)
+	out := NonDominated(in)
+	if len(out) != 3 {
+		t.Fatalf("NonDominated kept %d, want 3: %v", len(out), out)
+	}
+	for i, a := range out {
+		for j, b := range out {
+			if i != j && a.Dominates(b) {
+				t.Fatalf("dominated vector kept: %v ⪯ %v", a, b)
+			}
+		}
+	}
+}
+
+func TestNonDominatedEmpty(t *testing.T) {
+	if got := NonDominated(nil); len(got) != 0 {
+		t.Errorf("NonDominated(nil) = %v", got)
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := vecs([]float64{1, 4})
+	b := vecs([]float64{4, 1}, []float64{2, 5}) // (2,5) dominated by (1,4)
+	got := Union(a, b)
+	if len(got) != 2 {
+		t.Fatalf("Union = %v", got)
+	}
+}
+
+func randFront(r *rand.Rand, n int) []cost.Vector {
+	out := make([]cost.Vector, n)
+	for i := range out {
+		out[i] = cost.New(math.Exp(r.Float64()*8), math.Exp(r.Float64()*8))
+	}
+	return out
+}
+
+// TestQuickEpsilonSupersetNeverWorse: adding plans to the produced set
+// can only improve (lower) the approximation factor.
+func TestQuickEpsilonSupersetNeverWorse(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 1))
+		ref := randFront(r, 5)
+		a := randFront(r, 4)
+		b := append(append([]cost.Vector(nil), a...), randFront(r, 3)...)
+		return Epsilon(b, ref) <= Epsilon(a, ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEpsilonScaling: scaling the produced set by factor f ≥ 1
+// raises α by at most (and, against a self-reference, exactly) f.
+func TestQuickEpsilonScaling(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 2))
+		ref := randFront(r, 4)
+		factor := 1 + r.Float64()*5
+		scaled := make([]cost.Vector, len(ref))
+		for i, v := range ref {
+			scaled[i] = v.Scale(factor)
+		}
+		got := Epsilon(scaled, ref)
+		return math.Abs(got-factor) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickNonDominatedCoverage: every input vector is weakly dominated
+// by some output vector, and outputs are mutually non-dominating.
+func TestQuickNonDominatedCoverage(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 3))
+		in := randFront(r, 30)
+		out := NonDominated(in)
+		for _, v := range in {
+			ok := false
+			for _, o := range out {
+				if o.Dominates(v) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+		if got := Epsilon(out, in); got != 1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEpsilon(b *testing.B) {
+	r := rand.New(rand.NewPCG(1, 2))
+	produced := randFront(r, 50)
+	ref := randFront(r, 80)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Epsilon(produced, ref)
+	}
+}

@@ -1,0 +1,31 @@
+package randplan
+
+import (
+	"math/rand/v2"
+
+	"rmq/internal/costmodel"
+	"rmq/internal/plan"
+	"rmq/internal/tableset"
+)
+
+// RandomLeftDeep returns a uniformly random left-deep plan joining the
+// given table set: a uniformly random table permutation joined left to
+// right with uniformly random applicable operators. The paper notes
+// (Section 4.1) that the algorithm adapts to different join order spaces
+// by exchanging the random plan generation method and the local
+// transformation set; this is the generator for the classic left-deep
+// space of System R-style optimizers.
+func RandomLeftDeep(m *costmodel.Model, tables tableset.Set, rng *rand.Rand) *plan.Plan {
+	ids := tables.Tables()
+	if len(ids) == 0 {
+		panic("randplan: empty table set")
+	}
+	rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	p := m.NewScan(ids[0], RandomScanOp(rng))
+	for _, t := range ids[1:] {
+		inner := m.NewScan(t, RandomScanOp(rng))
+		ops := plan.JoinOpsFor(inner.Output)
+		p = m.NewJoin(ops[rng.IntN(len(ops))], p, inner)
+	}
+	return p
+}

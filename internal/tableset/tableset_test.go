@@ -1,0 +1,322 @@
+package tableset
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	s := Empty()
+	if !s.IsEmpty() {
+		t.Error("Empty() is not empty")
+	}
+	if s.Count() != 0 {
+		t.Errorf("Count = %d, want 0", s.Count())
+	}
+	if s.String() != "{}" {
+		t.Errorf("String = %q, want {}", s.String())
+	}
+}
+
+func TestSingle(t *testing.T) {
+	for _, i := range []int{0, 1, 63, 64, 65, 127} {
+		s := Single(i)
+		if s.Count() != 1 {
+			t.Errorf("Single(%d).Count = %d", i, s.Count())
+		}
+		if !s.Contains(i) {
+			t.Errorf("Single(%d) does not contain %d", i, i)
+		}
+		if s.Min() != i {
+			t.Errorf("Single(%d).Min = %d", i, s.Min())
+		}
+	}
+}
+
+func TestSingleOutOfRangePanics(t *testing.T) {
+	for _, i := range []int{-1, 128, 1000} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Single(%d) did not panic", i)
+				}
+			}()
+			Single(i)
+		}()
+	}
+}
+
+func TestAddRemoveContains(t *testing.T) {
+	s := Empty()
+	idx := []int{0, 5, 63, 64, 100, 127}
+	for _, i := range idx {
+		s = s.Add(i)
+	}
+	if s.Count() != len(idx) {
+		t.Fatalf("Count = %d, want %d", s.Count(), len(idx))
+	}
+	for _, i := range idx {
+		if !s.Contains(i) {
+			t.Errorf("missing %d", i)
+		}
+	}
+	if s.Contains(1) || s.Contains(65) {
+		t.Error("contains indices never added")
+	}
+	for _, i := range idx {
+		s = s.Remove(i)
+	}
+	if !s.IsEmpty() {
+		t.Errorf("not empty after removing all: %v", s)
+	}
+}
+
+func TestAddIdempotent(t *testing.T) {
+	s := Single(7).Add(7).Add(7)
+	if s.Count() != 1 {
+		t.Errorf("Count = %d, want 1", s.Count())
+	}
+}
+
+func TestRange(t *testing.T) {
+	for _, n := range []int{0, 1, 10, 63, 64, 65, 100, 128} {
+		s := Range(n)
+		if s.Count() != n {
+			t.Errorf("Range(%d).Count = %d", n, s.Count())
+		}
+		for i := 0; i < n; i++ {
+			if !s.Contains(i) {
+				t.Errorf("Range(%d) missing %d", n, i)
+			}
+		}
+		if n < MaxTables && s.Contains(n) {
+			t.Errorf("Range(%d) contains %d", n, n)
+		}
+	}
+}
+
+func TestUnionIntersectMinus(t *testing.T) {
+	a := FromSlice([]int{1, 2, 70})
+	b := FromSlice([]int{2, 3, 71})
+	if got := a.Union(b); got != FromSlice([]int{1, 2, 3, 70, 71}) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Intersect(b); got != FromSlice([]int{2}) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.Minus(b); got != FromSlice([]int{1, 70}) {
+		t.Errorf("Minus = %v", got)
+	}
+}
+
+func TestDisjointSubset(t *testing.T) {
+	a := FromSlice([]int{1, 2})
+	b := FromSlice([]int{3, 100})
+	if !a.Disjoint(b) {
+		t.Error("expected disjoint")
+	}
+	if a.Disjoint(a) {
+		t.Error("set disjoint with itself")
+	}
+	if !a.SubsetOf(a.Union(b)) {
+		t.Error("a not subset of a∪b")
+	}
+	if a.Union(b).SubsetOf(a) {
+		t.Error("a∪b subset of a")
+	}
+	if !Empty().SubsetOf(a) {
+		t.Error("empty not subset")
+	}
+	if !Empty().Disjoint(a) {
+		t.Error("empty not disjoint")
+	}
+}
+
+func TestTablesSortedAscending(t *testing.T) {
+	s := FromSlice([]int{100, 3, 64, 0, 127, 63})
+	got := s.Tables()
+	want := []int{0, 3, 63, 64, 100, 127}
+	if len(got) != len(want) {
+		t.Fatalf("Tables = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Tables = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestForEachMatchesTables(t *testing.T) {
+	s := FromSlice([]int{9, 64, 2, 120})
+	var got []int
+	s.ForEach(func(i int) { got = append(got, i) })
+	want := s.Tables()
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach visited %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMinPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Min on empty set did not panic")
+		}
+	}()
+	Empty().Min()
+}
+
+func TestString(t *testing.T) {
+	s := FromSlice([]int{2, 0, 65})
+	if got := s.String(); got != "{0,2,65}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestSetsComparable(t *testing.T) {
+	a := FromSlice([]int{1, 64})
+	b := Single(1).Add(64)
+	if a != b {
+		t.Error("equal sets compare unequal")
+	}
+	m := map[Set]int{a: 1}
+	if m[b] != 1 {
+		t.Error("map lookup by equal set failed")
+	}
+}
+
+// randomSet draws a set over [0, bound) for property tests.
+func randomSet(r *rand.Rand, bound int) Set {
+	s := Empty()
+	for i := 0; i < bound; i++ {
+		if r.IntN(2) == 0 {
+			s = s.Add(i)
+		}
+	}
+	return s
+}
+
+func TestQuickUnionCommutative(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 1))
+		a, b := randomSet(r, 128), randomSet(r, 128)
+		return a.Union(b) == b.Union(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDeMorgan(t *testing.T) {
+	// a \ (b ∪ c) == (a \ b) ∩ (a \ c)
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 2))
+		a, b, c := randomSet(r, 128), randomSet(r, 128), randomSet(r, 128)
+		return a.Minus(b.Union(c)) == a.Minus(b).Intersect(a.Minus(c))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCountAdditive(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 3))
+		a, b := randomSet(r, 128), randomSet(r, 128)
+		return a.Union(b).Count() == a.Count()+b.Count()-a.Intersect(b).Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMinusDisjoint(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 4))
+		a, b := randomSet(r, 128), randomSet(r, 128)
+		return a.Minus(b).Disjoint(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubsetsOfEnumeratesAllPartitionsOnce(t *testing.T) {
+	s := FromSlice([]int{1, 3, 5, 8})
+	seen := map[[2]Set]bool{}
+	count := 0
+	ok := s.SubsetsOf(func(left, right Set) bool {
+		count++
+		if left.IsEmpty() || right.IsEmpty() {
+			t.Errorf("empty side: %v | %v", left, right)
+		}
+		if !left.Disjoint(right) {
+			t.Errorf("overlapping partition: %v | %v", left, right)
+		}
+		if left.Union(right) != s {
+			t.Errorf("partition does not cover set: %v | %v", left, right)
+		}
+		if !left.Contains(s.Min()) {
+			t.Errorf("left side misses anchor: %v", left)
+		}
+		key := [2]Set{left, right}
+		if seen[key] {
+			t.Errorf("duplicate partition %v | %v", left, right)
+		}
+		seen[key] = true
+		return true
+	})
+	if !ok {
+		t.Error("enumeration reported early stop")
+	}
+	// A k-set has 2^(k-1)-1 unordered two-way partitions.
+	if want := 1<<(s.Count()-1) - 1; count != want {
+		t.Errorf("enumerated %d partitions, want %d", count, want)
+	}
+}
+
+func TestSubsetsOfEarlyStop(t *testing.T) {
+	s := Range(5)
+	count := 0
+	ok := s.SubsetsOf(func(left, right Set) bool {
+		count++
+		return count < 3
+	})
+	if ok {
+		t.Error("expected early-stop report")
+	}
+	if count != 3 {
+		t.Errorf("stopped after %d calls, want 3", count)
+	}
+}
+
+func TestSubsetsOfSmallSets(t *testing.T) {
+	if !Single(3).SubsetsOf(func(l, r Set) bool { t.Error("unexpected call"); return true }) {
+		t.Error("singleton enumeration should complete")
+	}
+	if !Empty().SubsetsOf(func(l, r Set) bool { t.Error("unexpected call"); return true }) {
+		t.Error("empty enumeration should complete")
+	}
+}
+
+func BenchmarkUnion(b *testing.B) {
+	x := FromSlice([]int{1, 5, 70, 90})
+	y := FromSlice([]int{2, 5, 64})
+	for i := 0; i < b.N; i++ {
+		x = x.Union(y)
+	}
+}
+
+func BenchmarkForEach(b *testing.B) {
+	s := Range(100)
+	sum := 0
+	for i := 0; i < b.N; i++ {
+		s.ForEach(func(t int) { sum += t })
+	}
+	_ = sum
+}

@@ -1,0 +1,366 @@
+// Package rmq is a multi-objective query optimization library. It
+// implements RMQ, the randomized multi-objective query optimizer of
+// Trummer and Koch ("A Fast Randomized Algorithm for Multi-Objective
+// Query Optimization", SIGMOD 2016) — the first algorithm for the problem
+// with polynomial time complexity per iteration — together with the full
+// competitor field of the paper's evaluation: dynamic-programming
+// approximation schemes (DP(α)) and multi-objective generalizations of
+// iterative improvement, simulated annealing, two-phase optimization and
+// NSGA-II.
+//
+// Multi-objective query optimization compares query plans under several
+// cost metrics at once (here: execution time, buffer space and disc
+// space) and computes the plans realizing Pareto-optimal cost trade-offs,
+// from which a caller picks by preference — e.g. with cost weights or
+// bounds.
+//
+// # Quick start
+//
+//	cat := rmq.GenerateCatalog(rmq.WorkloadSpec{Tables: 20, Graph: rmq.Chain}, 1)
+//	frontier, err := rmq.Optimize(cat, rmq.Options{Timeout: time.Second})
+//	...
+//	best := frontier.Best(map[rmq.Metric]float64{rmq.MetricTime: 1})
+//
+// See the examples directory for complete programs and internal/harness
+// for the reproduction of the paper's experiments.
+package rmq
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"strings"
+	"time"
+
+	"rmq/internal/baselines/anneal"
+	"rmq/internal/baselines/dp"
+	"rmq/internal/baselines/iterimp"
+	"rmq/internal/baselines/nsga2"
+	"rmq/internal/baselines/twophase"
+	"rmq/internal/baselines/weighted"
+	"rmq/internal/catalog"
+	"rmq/internal/core"
+	"rmq/internal/cost"
+	"rmq/internal/costmodel"
+	"rmq/internal/opt"
+	"rmq/internal/plan"
+)
+
+// Re-exported building blocks of the public API. The aliases keep a
+// single authoritative definition in the internal packages while giving
+// library users stable top-level names.
+type (
+	// Catalog is a database instance: base tables plus a join graph with
+	// predicate selectivities.
+	Catalog = catalog.Catalog
+	// Table describes one base table (name and cardinality in rows).
+	Table = catalog.Table
+	// Edge is a join-graph edge with its predicate selectivity.
+	Edge = catalog.Edge
+	// Plan is a physical query plan node.
+	Plan = plan.Plan
+	// CostVector is a plan's cost under the chosen metrics.
+	CostVector = cost.Vector
+	// Metric identifies one cost metric.
+	Metric = costmodel.Metric
+	// GraphKind selects a join graph shape for generated workloads.
+	GraphKind = catalog.GraphKind
+	// SelectivityModel selects how generated workloads draw predicate
+	// selectivities.
+	SelectivityModel = catalog.SelectivityModel
+)
+
+// Cost metrics.
+const (
+	// MetricTime is estimated execution time.
+	MetricTime = costmodel.Time
+	// MetricBuffer is peak buffer space in pages.
+	MetricBuffer = costmodel.Buffer
+	// MetricDisc is temporary disc space in pages.
+	MetricDisc = costmodel.Disc
+)
+
+// Join graph shapes for generated workloads.
+const (
+	Chain = catalog.Chain
+	Cycle = catalog.Cycle
+	Star  = catalog.Star
+)
+
+// Selectivity models for generated workloads.
+const (
+	// Steinbrunn draws log-uniform selectivities (the paper's default
+	// generator).
+	Steinbrunn = catalog.Steinbrunn
+	// MinMax draws join output cardinalities between the input
+	// cardinalities (Bruno's method, used in the paper's appendix).
+	MinMax = catalog.MinMax
+)
+
+// NewCatalog builds a catalog from tables and join edges; table indices
+// in edges refer to positions in the tables slice. Unconnected table
+// pairs join as cross products.
+func NewCatalog(tables []Table, edges []Edge) (*Catalog, error) {
+	return catalog.New(tables, edges)
+}
+
+// WorkloadSpec parameterizes random workload generation, mirroring the
+// paper's test case generator.
+type WorkloadSpec struct {
+	// Tables is the number of base tables (the query joins all of them).
+	Tables int
+	// Graph is the join graph shape; default Chain.
+	Graph GraphKind
+	// Selectivity is the selectivity model; default Steinbrunn.
+	Selectivity SelectivityModel
+}
+
+// GenerateCatalog builds a random catalog: stratified cardinalities and
+// the requested join graph, deterministic in the seed.
+func GenerateCatalog(spec WorkloadSpec, seed uint64) *Catalog {
+	rng := rand.New(rand.NewPCG(seed, 0x524d51c7))
+	return catalog.Generate(catalog.GenSpec{
+		Tables:      spec.Tables,
+		Graph:       spec.Graph,
+		Selectivity: spec.Selectivity,
+	}, rng)
+}
+
+// Algorithm selects the optimization algorithm.
+type Algorithm string
+
+// Available algorithms.
+const (
+	// AlgoRMQ is the paper's randomized multi-objective optimizer
+	// (default).
+	AlgoRMQ Algorithm = "rmq"
+	// AlgoII is multi-objective iterative improvement.
+	AlgoII Algorithm = "ii"
+	// AlgoSA is multi-objective simulated annealing.
+	AlgoSA Algorithm = "sa"
+	// Algo2P is two-phase optimization.
+	Algo2P Algorithm = "2p"
+	// AlgoNSGA2 is the NSGA-II genetic algorithm.
+	AlgoNSGA2 Algorithm = "nsga2"
+	// AlgoDP is the dynamic-programming approximation scheme; set
+	// Options.DPAlpha (default 2). Exponential in the table count — use
+	// for small queries only.
+	AlgoDP Algorithm = "dp"
+	// AlgoWS is the weighted-sum scalarization baseline. It can recover
+	// at most the convex hull of the Pareto frontier (see the paper's
+	// related-work discussion); provided for comparison.
+	AlgoWS Algorithm = "ws"
+)
+
+// Options configures Optimize. The zero value optimizes with RMQ for one
+// second under all three cost metrics.
+type Options struct {
+	// Metrics is the cost metric subset (the paper's l); default all
+	// three.
+	Metrics []Metric
+	// Timeout bounds optimization time; default one second.
+	Timeout time.Duration
+	// MaxIterations, when > 0, additionally bounds the number of
+	// optimizer steps (RMQ iterations, NSGA-II generations, ...). Useful
+	// for deterministic results independent of machine speed.
+	MaxIterations int
+	// Seed makes the run reproducible; runs with equal seeds and
+	// MaxIterations produce identical frontiers.
+	Seed uint64
+	// Algorithm selects the optimizer; default AlgoRMQ.
+	Algorithm Algorithm
+	// DPAlpha is the approximation factor for AlgoDP; default 2.
+	DPAlpha float64
+}
+
+// Frontier is the result of an optimization run: the plans approximating
+// the Pareto frontier of the query, plus run statistics.
+type Frontier struct {
+	// Plans are the mutually non-dominated result plans (by cost).
+	Plans []*Plan
+	// Metrics is the metric subset the costs refer to.
+	Metrics []Metric
+	// Iterations is the number of optimizer steps performed.
+	Iterations int
+	// Elapsed is the wall-clock optimization time.
+	Elapsed time.Duration
+}
+
+// Optimize computes an approximation of the Pareto plan set for joining
+// all tables of the catalog.
+func Optimize(cat *Catalog, opts Options) (*Frontier, error) {
+	if cat == nil {
+		return nil, errors.New("rmq: nil catalog")
+	}
+	metrics := opts.Metrics
+	if len(metrics) == 0 {
+		metrics = costmodel.AllMetrics()
+	}
+	for _, m := range metrics {
+		if m >= costmodel.NumMetrics {
+			return nil, fmt.Errorf("rmq: unknown metric %v", m)
+		}
+	}
+	timeout := opts.Timeout
+	if timeout <= 0 {
+		timeout = time.Second
+	}
+	optimizer, err := newOptimizer(opts)
+	if err != nil {
+		return nil, err
+	}
+
+	problem := opt.NewProblem(cat, metrics)
+	optimizer.Init(problem, opts.Seed)
+	start := time.Now()
+	iterations := 0
+	for {
+		more := optimizer.Step()
+		iterations++
+		if !more || time.Since(start) >= timeout {
+			break
+		}
+		if opts.MaxIterations > 0 && iterations >= opts.MaxIterations {
+			break
+		}
+	}
+
+	var archive opt.Archive
+	for _, p := range optimizer.Frontier() {
+		archive.Add(p)
+	}
+	plans := append([]*Plan(nil), archive.Plans()...)
+	sortPlansByFirstMetric(plans)
+	return &Frontier{
+		Plans:      plans,
+		Metrics:    append([]Metric(nil), metrics...),
+		Iterations: iterations,
+		Elapsed:    time.Since(start),
+	}, nil
+}
+
+func newOptimizer(opts Options) (opt.Optimizer, error) {
+	switch opts.Algorithm {
+	case "", AlgoRMQ:
+		return core.New(core.Config{}), nil
+	case AlgoII:
+		return iterimp.New(), nil
+	case AlgoSA:
+		return anneal.New(anneal.Config{}), nil
+	case Algo2P:
+		return twophase.New(), nil
+	case AlgoNSGA2:
+		return nsga2.New(nsga2.Config{}), nil
+	case AlgoWS:
+		return weighted.New(weighted.Config{}), nil
+	case AlgoDP:
+		alpha := opts.DPAlpha
+		if alpha == 0 {
+			alpha = 2
+		}
+		if alpha < 1 {
+			return nil, fmt.Errorf("rmq: DPAlpha %g < 1", alpha)
+		}
+		return dp.New(alpha), nil
+	default:
+		return nil, fmt.Errorf("rmq: unknown algorithm %q", opts.Algorithm)
+	}
+}
+
+func sortPlansByFirstMetric(plans []*Plan) {
+	for i := 1; i < len(plans); i++ {
+		for j := i; j > 0 && plans[j].Cost.At(0) < plans[j-1].Cost.At(0); j-- {
+			plans[j], plans[j-1] = plans[j-1], plans[j]
+		}
+	}
+}
+
+// Best selects the frontier plan minimizing the weighted sum of
+// log-normalized costs: each metric contributes w · log(cost / min),
+// where min is the frontier's best value for that metric. The log scale
+// makes weights express relative importance across the many orders of
+// magnitude that plan costs span (this is the cost-weight preference
+// model referenced in the paper's introduction). Metrics missing from
+// weights get weight 0; if weights is nil, all metrics weigh equally.
+// It returns nil on an empty frontier.
+func (f *Frontier) Best(weights map[Metric]float64) *Plan {
+	if len(f.Plans) == 0 {
+		return nil
+	}
+	l := len(f.Metrics)
+	mins := make([]float64, l)
+	for i := range mins {
+		mins[i] = math.Inf(1)
+		for _, p := range f.Plans {
+			if c := p.Cost.At(i); c < mins[i] {
+				mins[i] = c
+			}
+		}
+		if mins[i] <= 0 {
+			mins[i] = 1
+		}
+	}
+	var best *Plan
+	bestScore := math.Inf(1)
+	for _, p := range f.Plans {
+		score := 0.0
+		for i, m := range f.Metrics {
+			w := 1.0
+			if weights != nil {
+				w = weights[m]
+			}
+			score += w * math.Log(math.Max(p.Cost.At(i), 1e-9)/mins[i])
+		}
+		if score < bestScore {
+			bestScore = score
+			best = p
+		}
+	}
+	return best
+}
+
+// WithinBounds returns the frontier plans whose cost does not exceed the
+// given bound for any bounded metric (the cost-bound preference model of
+// the paper's introduction). Metrics absent from bounds are unbounded.
+func (f *Frontier) WithinBounds(bounds map[Metric]float64) []*Plan {
+	var out []*Plan
+	for _, p := range f.Plans {
+		ok := true
+		for i, m := range f.Metrics {
+			if b, bounded := bounds[m]; bounded && p.Cost.At(i) > b {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// String renders the frontier as a table of cost trade-offs, one row per
+// plan.
+func (f *Frontier) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "frontier: %d plans after %d iterations in %v\n",
+		len(f.Plans), f.Iterations, f.Elapsed.Round(time.Millisecond))
+	for i, m := range f.Metrics {
+		if i > 0 {
+			b.WriteString(" | ")
+		}
+		fmt.Fprintf(&b, "%8s", m)
+	}
+	b.WriteByte('\n')
+	for _, p := range f.Plans {
+		for i := range f.Metrics {
+			if i > 0 {
+				b.WriteString(" | ")
+			}
+			fmt.Fprintf(&b, "%8.3g", p.Cost.At(i))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

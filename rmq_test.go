@@ -1,0 +1,269 @@
+package rmq_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"rmq"
+	"rmq/internal/opt"
+	"rmq/internal/quality"
+)
+
+func smallCatalog(t *testing.T) *rmq.Catalog {
+	t.Helper()
+	return rmq.GenerateCatalog(rmq.WorkloadSpec{Tables: 6, Graph: rmq.Chain}, 42)
+}
+
+func TestOptimizeDefaults(t *testing.T) {
+	f, err := rmq.Optimize(smallCatalog(t), rmq.Options{Timeout: 80 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Plans) == 0 {
+		t.Fatal("empty frontier")
+	}
+	if len(f.Metrics) != 3 {
+		t.Errorf("default metrics = %v", f.Metrics)
+	}
+	if f.Iterations == 0 || f.Elapsed <= 0 {
+		t.Errorf("stats not filled: %+v", f)
+	}
+	// Plans are sorted by the first metric and mutually non-dominated.
+	for i := 1; i < len(f.Plans); i++ {
+		if f.Plans[i].Cost.At(0) < f.Plans[i-1].Cost.At(0) {
+			t.Error("plans not sorted by first metric")
+		}
+	}
+	for i, a := range f.Plans {
+		for j, b := range f.Plans {
+			if i != j && a.Cost.Dominates(b.Cost) {
+				t.Error("frontier contains dominated plan")
+			}
+		}
+	}
+}
+
+func TestOptimizeEveryAlgorithm(t *testing.T) {
+	cat := smallCatalog(t)
+	for _, algo := range []rmq.Algorithm{rmq.AlgoRMQ, rmq.AlgoII, rmq.AlgoSA, rmq.Algo2P, rmq.AlgoNSGA2, rmq.AlgoDP} {
+		f, err := rmq.Optimize(cat, rmq.Options{
+			Algorithm: algo,
+			Timeout:   200 * time.Millisecond,
+			Metrics:   []rmq.Metric{rmq.MetricTime, rmq.MetricBuffer},
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if len(f.Plans) == 0 {
+			t.Fatalf("%s: empty frontier", algo)
+		}
+		for _, p := range f.Plans {
+			if err := p.Validate(); err != nil {
+				t.Fatalf("%s: invalid plan: %v", algo, err)
+			}
+		}
+	}
+}
+
+func TestOptimizeErrors(t *testing.T) {
+	cat := smallCatalog(t)
+	if _, err := rmq.Optimize(nil, rmq.Options{}); err == nil {
+		t.Error("nil catalog accepted")
+	}
+	if _, err := rmq.Optimize(cat, rmq.Options{Algorithm: "bogus"}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if _, err := rmq.Optimize(cat, rmq.Options{Metrics: []rmq.Metric{17}}); err == nil {
+		t.Error("unknown metric accepted")
+	}
+	if _, err := rmq.Optimize(cat, rmq.Options{Algorithm: rmq.AlgoDP, DPAlpha: 0.5}); err == nil {
+		t.Error("DPAlpha < 1 accepted")
+	}
+}
+
+func TestOptimizeDeterministicWithMaxIterations(t *testing.T) {
+	cat := smallCatalog(t)
+	run := func() []float64 {
+		f, err := rmq.Optimize(cat, rmq.Options{
+			Timeout:       10 * time.Second,
+			MaxIterations: 25,
+			Seed:          7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []float64
+		for _, p := range f.Plans {
+			for i := 0; i < p.Cost.Dim(); i++ {
+				out = append(out, p.Cost.At(i))
+			}
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("frontier sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different frontiers")
+		}
+	}
+}
+
+func TestFrontierBest(t *testing.T) {
+	f, err := rmq.Optimize(smallCatalog(t), rmq.Options{
+		Timeout:       5 * time.Second,
+		MaxIterations: 400,
+		Metrics:       []rmq.Metric{rmq.MetricTime, rmq.MetricBuffer},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Plans) < 2 {
+		t.Skipf("frontier too small (%d plans) to compare preferences", len(f.Plans))
+	}
+	timeFirst := f.Best(map[rmq.Metric]float64{rmq.MetricTime: 1})
+	bufFirst := f.Best(map[rmq.Metric]float64{rmq.MetricBuffer: 1})
+	if timeFirst == nil || bufFirst == nil {
+		t.Fatal("Best returned nil on non-empty frontier")
+	}
+	if timeFirst.Cost.At(0) > bufFirst.Cost.At(0) {
+		t.Error("time-weighted choice is slower than buffer-weighted choice")
+	}
+	if bufFirst.Cost.At(1) > timeFirst.Cost.At(1) {
+		t.Error("buffer-weighted choice uses more buffer than time-weighted choice")
+	}
+	if got := f.Best(nil); got == nil {
+		t.Error("nil weights should pick some plan")
+	}
+}
+
+func TestFrontierBestEmpty(t *testing.T) {
+	var f rmq.Frontier
+	if f.Best(nil) != nil {
+		t.Error("Best on empty frontier")
+	}
+}
+
+func TestFrontierWithinBounds(t *testing.T) {
+	f, err := rmq.Optimize(smallCatalog(t), rmq.Options{
+		Timeout:       5 * time.Second,
+		MaxIterations: 200,
+		Metrics:       []rmq.Metric{rmq.MetricTime, rmq.MetricBuffer},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := f.WithinBounds(nil)
+	if len(all) != len(f.Plans) {
+		t.Error("nil bounds should keep every plan")
+	}
+	none := f.WithinBounds(map[rmq.Metric]float64{rmq.MetricTime: -1})
+	if len(none) != 0 {
+		t.Error("impossible bound kept plans")
+	}
+	// Bounding by a plan's own cost keeps at least that plan.
+	p := f.Plans[0]
+	kept := f.WithinBounds(map[rmq.Metric]float64{
+		rmq.MetricTime:   p.Cost.At(0),
+		rmq.MetricBuffer: p.Cost.At(1),
+	})
+	if len(kept) == 0 {
+		t.Error("self-bound excluded the plan")
+	}
+}
+
+func TestFrontierString(t *testing.T) {
+	f, err := rmq.Optimize(smallCatalog(t), rmq.Options{Timeout: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := f.String()
+	if !strings.Contains(s, "frontier:") || !strings.Contains(s, "time") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestGenerateCatalogDeterministic(t *testing.T) {
+	a := rmq.GenerateCatalog(rmq.WorkloadSpec{Tables: 10, Graph: rmq.Star, Selectivity: rmq.MinMax}, 5)
+	b := rmq.GenerateCatalog(rmq.WorkloadSpec{Tables: 10, Graph: rmq.Star, Selectivity: rmq.MinMax}, 5)
+	for i := 0; i < 10; i++ {
+		if a.Table(i).Rows != b.Table(i).Rows {
+			t.Fatal("same seed produced different catalogs")
+		}
+	}
+}
+
+func TestNewCatalog(t *testing.T) {
+	cat, err := rmq.NewCatalog(
+		[]rmq.Table{{Name: "orders", Rows: 1e6}, {Name: "customers", Rows: 1e4}},
+		[]rmq.Edge{{A: 0, B: 1, Selectivity: 1e-4}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cat.NumTables() != 2 {
+		t.Error("wrong table count")
+	}
+	if _, err := rmq.NewCatalog(nil, nil); err == nil {
+		t.Error("empty catalog accepted")
+	}
+}
+
+// TestIntegrationRMQConvergesToExactFrontier is the library-level version
+// of the Figures 8/9 result: on a small query, RMQ's frontier converges
+// towards the exact Pareto frontier computed by the DP baseline.
+func TestIntegrationRMQConvergesToExactFrontier(t *testing.T) {
+	cat := rmq.GenerateCatalog(rmq.WorkloadSpec{Tables: 5, Graph: rmq.Chain}, 17)
+	metrics := []rmq.Metric{rmq.MetricTime, rmq.MetricBuffer}
+
+	exact, err := rmq.Optimize(cat, rmq.Options{
+		Algorithm: rmq.AlgoDP, DPAlpha: 1,
+		Timeout: 30 * time.Second, Metrics: metrics,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := rmq.Optimize(cat, rmq.Options{
+		Timeout: 30 * time.Second, MaxIterations: 9000, Metrics: metrics, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha := quality.Epsilon(opt.Costs(approx.Plans), quality.NonDominated(opt.Costs(exact.Plans)))
+	if alpha > 1.3 {
+		t.Errorf("RMQ α vs exact frontier = %g, want ≤ 1.3", alpha)
+	}
+}
+
+// TestIntegrationRMQBeatsRandomSearchBaseline sanity-checks the paper's
+// headline on a mid-size query at fixed iteration counts: RMQ's frontier
+// approximates the union reference at least as well as SA does.
+func TestIntegrationRMQBeatsSA(t *testing.T) {
+	cat := rmq.GenerateCatalog(rmq.WorkloadSpec{Tables: 20, Graph: rmq.Star}, 23)
+	metrics := []rmq.Metric{rmq.MetricTime, rmq.MetricBuffer, rmq.MetricDisc}
+	run := func(algo rmq.Algorithm, iters int) []*rmq.Plan {
+		f, err := rmq.Optimize(cat, rmq.Options{
+			Algorithm: algo, Timeout: 20 * time.Second,
+			MaxIterations: iters, Metrics: metrics, Seed: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f.Plans
+	}
+	rmqPlans := run(rmq.AlgoRMQ, 60)
+	saPlans := run(rmq.AlgoSA, 50_000)
+	ref := quality.Union(opt.Costs(rmqPlans), opt.Costs(saPlans))
+	alphaRMQ := quality.Epsilon(opt.Costs(rmqPlans), ref)
+	alphaSA := quality.Epsilon(opt.Costs(saPlans), ref)
+	if alphaRMQ > alphaSA {
+		t.Errorf("RMQ α = %g worse than SA α = %g", alphaRMQ, alphaSA)
+	}
+	if math.IsInf(alphaRMQ, 1) {
+		t.Error("RMQ produced nothing")
+	}
+}

@@ -19,6 +19,7 @@
 package rmq_test
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"os"
@@ -38,7 +39,7 @@ func runFigure(b *testing.B, scenarios []harness.Scenario, label string) {
 	for i := 0; i < b.N; i++ {
 		logSum, count := 0.0, 0
 		for _, s := range scenarios {
-			res := harness.Run(s)
+			res := harness.Run(context.Background(), s)
 			if verbose {
 				fmt.Println(res.Table())
 			} else {
@@ -78,7 +79,7 @@ func BenchmarkFigure3(b *testing.B) {
 	scenarios := harness.Figure3(harness.BenchTuning())
 	for i := 0; i < b.N; i++ {
 		for _, s := range scenarios {
-			res := harness.Run(s)
+			res := harness.Run(context.Background(), s)
 			fmt.Printf("  [fig3] %-30s path=%5.1f pareto=%5.0f\n",
 				s.Name, res.MedianPathLength, res.MedianParetoPlans)
 		}
@@ -139,7 +140,7 @@ func BenchmarkExtensionWeightedSum(b *testing.B) {
 		Parallel:    tn.Parallel,
 	}
 	for i := 0; i < b.N; i++ {
-		res := harness.Run(s)
+		res := harness.Run(context.Background(), s)
 		fmt.Printf("  [ext-ws] %s\n", res.Summary())
 	}
 }

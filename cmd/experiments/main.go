@@ -14,9 +14,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
@@ -53,28 +55,45 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Ctrl-C cancels the remaining work; measurements collected up to
+	// that point were already printed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	all := harness.Figures(tuning)
 	start := time.Now()
 	for _, id := range ids {
+		if ctx.Err() != nil {
+			break
+		}
 		fmt.Printf("======== Figure %d ========\n", id)
 		if id == 3 {
-			runFigure3(all[id])
+			runFigure3(ctx, all[id])
 			continue
 		}
 		for _, s := range all[id] {
-			res := harness.Run(s)
+			if ctx.Err() != nil {
+				break
+			}
+			res := harness.Run(ctx, s)
 			fmt.Println(res.Table())
 		}
+	}
+	if ctx.Err() != nil {
+		fmt.Println("interrupted — remaining figures skipped")
 	}
 	fmt.Printf("total experiment time: %v\n", time.Since(start).Round(time.Second))
 }
 
 // runFigure3 prints the two panels of Figure 3: median climbing path
 // length and median number of Pareto plans found by RMQ.
-func runFigure3(scenarios []harness.Scenario) {
+func runFigure3(ctx context.Context, scenarios []harness.Scenario) {
 	fmt.Println("graph, tables -> median climb path length | median Pareto plans (RMQ, 3 metrics)")
 	for _, s := range scenarios {
-		res := harness.Run(s)
+		if ctx.Err() != nil {
+			return
+		}
+		res := harness.Run(ctx, s)
 		fmt.Printf("%-28s path=%5.1f  pareto=%5.0f\n",
 			s.Name, res.MedianPathLength, res.MedianParetoPlans)
 	}

@@ -1,19 +1,23 @@
 // Command rmqopt optimizes one (generated) query with a selectable
 // multi-objective algorithm and prints the approximated Pareto frontier
 // of cost trade-offs, the plan realizing each trade-off, and the plan a
-// weighted preference would select.
+// weighted preference would select. Ctrl-C cancels the run and prints
+// the frontier found so far (anytime semantics).
 //
 // Examples:
 //
 //	rmqopt -tables 30 -graph star -metrics 3 -timeout 1s
 //	rmqopt -tables 8 -algo dp -dp-alpha 1.01
 //	rmqopt -tables 100 -algo nsga2 -seed 7
+//	rmqopt -tables 100 -parallel 8 -progress -timeout 3s
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -22,16 +26,18 @@ import (
 
 func main() {
 	var (
-		tables  = flag.Int("tables", 20, "number of tables to join")
-		graph   = flag.String("graph", "chain", "join graph shape: chain, cycle or star")
-		sel     = flag.String("sel", "steinbrunn", "selectivity model: steinbrunn or minmax")
-		metrics = flag.Int("metrics", 3, "number of cost metrics (1-3: time, buffer, disc)")
-		algo    = flag.String("algo", "rmq", "algorithm: rmq, ii, sa, 2p, nsga2 or dp")
-		dpAlpha = flag.Float64("dp-alpha", 2, "approximation factor for -algo dp")
-		timeout = flag.Duration("timeout", time.Second, "optimization time budget")
-		iters   = flag.Int("iters", 0, "optional cap on optimizer iterations (0 = none)")
-		seed    = flag.Uint64("seed", 1, "random seed for workload and optimizer")
-		plans   = flag.Bool("plans", false, "print the operator tree of every frontier plan")
+		tables   = flag.Int("tables", 20, "number of tables to join")
+		graph    = flag.String("graph", "chain", "join graph shape: chain, cycle or star")
+		sel      = flag.String("sel", "steinbrunn", "selectivity model: steinbrunn or minmax")
+		metrics  = flag.Int("metrics", 3, "number of cost metrics (1-3: time, buffer, disc)")
+		algo     = flag.String("algo", "rmq", fmt.Sprintf("algorithm: %s", algoList()))
+		dpAlpha  = flag.Float64("dp-alpha", 2, "approximation factor for -algo dp")
+		timeout  = flag.Duration("timeout", time.Second, "optimization time budget")
+		iters    = flag.Int("iters", 0, "optional cap on optimizer iterations per worker (0 = none)")
+		seed     = flag.Uint64("seed", 1, "random seed for workload and optimizer")
+		parallel = flag.Int("parallel", 1, "number of parallel multi-start workers")
+		progress = flag.Bool("progress", false, "stream anytime frontier improvements to stderr")
+		plans    = flag.Bool("plans", false, "print the operator tree of every frontier plan")
 	)
 	flag.Parse()
 
@@ -63,16 +69,37 @@ func main() {
 	fmt.Printf("workload: %d tables, %s graph, %s selectivities (seed %d)\n",
 		*tables, *graph, *sel, *seed)
 
-	frontier, err := rmq.Optimize(cat, rmq.Options{
-		Metrics:       all[:*metrics],
-		Timeout:       *timeout,
-		MaxIterations: *iters,
-		Seed:          *seed,
-		Algorithm:     rmq.Algorithm(strings.ToLower(*algo)),
-		DPAlpha:       *dpAlpha,
-	})
+	// Ctrl-C cancels the context; the anytime optimizer returns the
+	// frontier it has found by then instead of aborting.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opts := []rmq.Option{
+		rmq.WithMetrics(all[:*metrics]...),
+		rmq.WithSeed(*seed),
+		rmq.WithAlgorithm(rmq.Algorithm(strings.ToLower(*algo))),
+		rmq.WithDPAlpha(*dpAlpha),
+		rmq.WithParallelism(*parallel),
+	}
+	if *timeout > 0 {
+		opts = append(opts, rmq.WithTimeout(*timeout))
+	}
+	if *iters > 0 {
+		opts = append(opts, rmq.WithMaxIterations(*iters))
+	}
+	if *progress {
+		opts = append(opts, rmq.OnImprovement(func(p rmq.Progress) {
+			fmt.Fprintf(os.Stderr, "  [%8v] iter %6d: %d plans\n",
+				p.Elapsed.Round(time.Millisecond), p.Iterations, len(p.Plans))
+		}))
+	}
+
+	frontier, err := rmq.Optimize(ctx, cat, opts...)
 	if err != nil {
 		fatalf("%v", err)
+	}
+	if ctx.Err() != nil {
+		fmt.Println("\ninterrupted — reporting the frontier found so far")
 	}
 
 	fmt.Println()
@@ -89,6 +116,15 @@ func main() {
 	}
 	best := frontier.Best(map[rmq.Metric]float64{rmq.MetricTime: 1})
 	fmt.Printf("\nfastest plan (time-weighted preference): cost %v\n  %s\n", best.Cost, best)
+}
+
+// algoList renders the registered algorithm names for the flag help.
+func algoList() string {
+	names := make([]string, 0, 8)
+	for _, a := range rmq.Algorithms() {
+		names = append(names, string(a))
+	}
+	return strings.Join(names, ", ")
 }
 
 func fatalf(format string, args ...any) {

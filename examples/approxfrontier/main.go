@@ -1,12 +1,14 @@
 // Approxfrontier renders the interactive-optimization scenario of the
 // paper (users pick a plan from a visualization of available cost
-// trade-offs): it approximates the Pareto frontier of a 30-table query
-// at increasing time budgets and draws each frontier as an ASCII
-// log-log scatter plot, showing how the anytime approximation sharpens
-// as RMQ iterates and its α precision is refined.
+// trade-offs): it runs a single anytime optimization of a 30-table query
+// and streams intermediate frontiers through the OnImprovement callback,
+// redrawing the ASCII log-log scatter plot at increasing elapsed-time
+// milestones — the approximation visibly sharpens as RMQ iterates and
+// its α precision is refined.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -27,38 +29,52 @@ func main() {
 		Graph:  rmq.Cycle,
 	}, 11)
 
-	for _, budget := range []time.Duration{
+	// Milestones at which to redraw the anytime frontier; a single run
+	// streams through all of them (the pre-context API needed one full
+	// restart per budget).
+	milestones := []time.Duration{
 		50 * time.Millisecond,
 		400 * time.Millisecond,
 		1600 * time.Millisecond,
-	} {
-		frontier, err := rmq.Optimize(cat, rmq.Options{
-			Metrics: []rmq.Metric{rmq.MetricTime, rmq.MetricBuffer},
-			Timeout: budget,
-			Seed:    5,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("=== budget %v: %d plans after %d iterations ===\n",
-			budget, len(frontier.Plans), frontier.Iterations)
-		plot(frontier)
-		fmt.Println()
 	}
+	next := 0
+	draw := func(p rmq.Progress) {
+		for next < len(milestones) && p.Elapsed >= milestones[next] {
+			fmt.Printf("=== after %v: %d plans, %d iterations ===\n",
+				milestones[next], len(p.Plans), p.Iterations)
+			plot(p.Plans)
+			fmt.Println()
+			next++
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 1700*time.Millisecond)
+	defer cancel()
+	frontier, err := rmq.Optimize(ctx, cat,
+		rmq.WithMetrics(rmq.MetricTime, rmq.MetricBuffer),
+		rmq.WithSeed(5),
+		rmq.WithProgress(1, draw))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("=== final: %d plans, %d iterations ===\n",
+		len(frontier.Plans), frontier.Iterations)
+	plot(frontier.Plans)
+	fmt.Println()
 	fmt.Println("x: execution time (log), y: buffer pages (log); each * is one")
 	fmt.Println("Pareto plan — the menu an interactive optimizer offers the user.")
 }
 
-// plot draws the frontier as a log-log ASCII scatter.
-func plot(f *rmq.Frontier) {
-	if len(f.Plans) == 0 {
+// plot draws a frontier plan set as a log-log ASCII scatter.
+func plot(plans []*rmq.Plan) {
+	if len(plans) == 0 {
 		fmt.Println("(empty frontier)")
 		return
 	}
 	minX, maxX := math.Inf(1), math.Inf(-1)
 	minY, maxY := math.Inf(1), math.Inf(-1)
 	logOf := func(v float64) float64 { return math.Log10(math.Max(v, 1)) }
-	for _, p := range f.Plans {
+	for _, p := range plans {
 		x, y := logOf(p.Cost.At(0)), logOf(p.Cost.At(1))
 		minX, maxX = math.Min(minX, x), math.Max(maxX, x)
 		minY, maxY = math.Min(minY, y), math.Max(maxY, y)
@@ -73,7 +89,7 @@ func plot(f *rmq.Frontier) {
 	for i := range grid {
 		grid[i] = []byte(strings.Repeat(" ", plotW))
 	}
-	for _, p := range f.Plans {
+	for _, p := range plans {
 		x, y := logOf(p.Cost.At(0)), logOf(p.Cost.At(1))
 		col := int((x - minX) / (maxX - minX) * float64(plotW-1))
 		row := int((y - minY) / (maxY - minY) * float64(plotH-1))

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -37,11 +38,11 @@ func main() {
 		log.Fatal(err)
 	}
 
-	frontier, err := rmq.Optimize(cat, rmq.Options{
-		Metrics: []rmq.Metric{rmq.MetricTime, rmq.MetricBuffer},
-		Timeout: time.Second,
-		Seed:    7,
-	})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	frontier, err := rmq.Optimize(ctx, cat,
+		rmq.WithMetrics(rmq.MetricTime, rmq.MetricBuffer),
+		rmq.WithSeed(7))
 	if err != nil {
 		log.Fatal(err)
 	}

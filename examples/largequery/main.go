@@ -4,12 +4,15 @@
 // Pareto frontier of a 100-table query in under a second. The example
 // runs both on the same workload with the same budget and reports what
 // each delivered — reproducing the qualitative content of Figures 1/2 at
-// the largest query size.
+// the largest query size — and then shows parallel multi-start squeezing
+// more out of the same budget.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"runtime"
 	"time"
 
 	"rmq"
@@ -22,20 +25,20 @@ func main() {
 		Tables: tables,
 		Graph:  rmq.Star,
 	}, 3)
-	metrics := []rmq.Metric{rmq.MetricTime, rmq.MetricBuffer, rmq.MetricDisc}
+	metrics := rmq.WithMetrics(rmq.MetricTime, rmq.MetricBuffer, rmq.MetricDisc)
+	ctx := context.Background()
 
 	fmt.Printf("workload: %d-table star join, three cost metrics, %v budget each\n\n", tables, budget)
 
 	// The DP approximation scheme — even with the coarsest possible
 	// precision — must fill frontiers for all 2^100 table subsets before
 	// it reports anything. It will not get anywhere near that.
-	dpFrontier, err := rmq.Optimize(cat, rmq.Options{
-		Algorithm: rmq.AlgoDP,
-		DPAlpha:   1000, // coarsest setting the paper evaluates
-		Metrics:   metrics,
-		Timeout:   budget,
-		Seed:      1,
-	})
+	dpFrontier, err := rmq.Optimize(ctx, cat,
+		rmq.WithAlgorithm(rmq.AlgoDP),
+		rmq.WithDPAlpha(1000), // coarsest setting the paper evaluates
+		metrics,
+		rmq.WithTimeout(budget),
+		rmq.WithSeed(1))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,23 +47,37 @@ func main() {
 
 	// RMQ: polynomial work per iteration, first plans after the first
 	// iteration, anytime refinement afterwards.
-	rmqFrontier, err := rmq.Optimize(cat, rmq.Options{
-		Algorithm: rmq.AlgoRMQ,
-		Metrics:   metrics,
-		Timeout:   budget,
-		Seed:      1,
-	})
+	rmqFrontier, err := rmq.Optimize(ctx, cat,
+		rmq.WithAlgorithm(rmq.AlgoRMQ),
+		metrics,
+		rmq.WithTimeout(budget),
+		rmq.WithSeed(1))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("RMQ:       %d plans after %v (%d iterations)\n\n",
+	fmt.Printf("RMQ:       %d plans after %v (%d iterations)\n",
 		len(rmqFrontier.Plans), rmqFrontier.Elapsed.Round(time.Millisecond), rmqFrontier.Iterations)
 
-	if len(rmqFrontier.Plans) > 0 {
+	// Parallel multi-start: one independent RMQ instance per CPU, all
+	// merging into a shared non-dominated archive under the same budget.
+	workers := runtime.GOMAXPROCS(0)
+	parFrontier, err := rmq.Optimize(ctx, cat,
+		rmq.WithAlgorithm(rmq.AlgoRMQ),
+		metrics,
+		rmq.WithTimeout(budget),
+		rmq.WithSeed(1),
+		rmq.WithParallelism(workers))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("RMQ ×%-4d: %d plans after %v (%d iterations across workers)\n\n",
+		workers, len(parFrontier.Plans), parFrontier.Elapsed.Round(time.Millisecond), parFrontier.Iterations)
+
+	if len(parFrontier.Plans) > 0 {
 		fmt.Println("sample of RMQ's cost trade-offs (time | buffer | disc):")
-		step := len(rmqFrontier.Plans)/5 + 1
-		for i := 0; i < len(rmqFrontier.Plans); i += step {
-			fmt.Printf("  %v\n", rmqFrontier.Plans[i].Cost)
+		step := len(parFrontier.Plans)/5 + 1
+		for i := 0; i < len(parFrontier.Plans); i += step {
+			fmt.Printf("  %v\n", parFrontier.Plans[i].Cost)
 		}
 	}
 	fmt.Println("\nthis is the scalability gap of the paper: exponential-time DP")

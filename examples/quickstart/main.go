@@ -1,9 +1,12 @@
 // Quickstart: optimize a generated 20-table query under two cost metrics
 // and pick plans by preference — the minimal end-to-end use of the rmq
-// library.
+// library. A Session carries the catalog and default options, so issuing
+// further queries against the same database reuses warmed-up cost-model
+// state.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -20,13 +23,20 @@ func main() {
 		Graph:  rmq.Chain,
 	}, 42)
 
+	// A session binds the catalog and per-database defaults once.
+	sess, err := rmq.NewSession(cat,
+		rmq.WithMetrics(rmq.MetricTime, rmq.MetricBuffer))
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	// Approximate the Pareto frontier of execution-time vs. buffer-space
-	// trade-offs with half a second of optimization.
-	frontier, err := rmq.Optimize(cat, rmq.Options{
-		Metrics: []rmq.Metric{rmq.MetricTime, rmq.MetricBuffer},
-		Timeout: 500 * time.Millisecond,
-		Seed:    1,
-	})
+	// trade-offs with half a second of optimization. The context bounds
+	// the anytime loop; cancelling it early would return the frontier
+	// found so far.
+	ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+	defer cancel()
+	frontier, err := sess.Optimize(ctx, rmq.WithSeed(1))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -45,4 +55,18 @@ func main() {
 	if len(within) > 0 {
 		fmt.Printf("best of those: %v\n  %s\n", within[0].Cost, within[0])
 	}
+
+	// A second query against the same session (here: a different seed
+	// and metric subset) skips catalog/estimator re-setup and benefits
+	// from the cardinalities memoized above.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel2()
+	again, err := sess.Optimize(ctx2,
+		rmq.WithMetrics(rmq.MetricTime, rmq.MetricDisc),
+		rmq.WithSeed(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsecond session query (time/disc): %d plans after %d iterations\n",
+		len(again.Plans), again.Iterations)
 }

@@ -1,0 +1,3 @@
+module rmq
+
+go 1.24

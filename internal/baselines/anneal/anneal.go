@@ -89,6 +89,12 @@ func Factory() opt.Factory {
 	return opt.Factory{Name: "SA", New: func() opt.Optimizer { return New(Config{}) }}
 }
 
+func init() {
+	opt.Register("sa", func(opt.Spec) (opt.Optimizer, error) {
+		return New(Config{}), nil
+	})
+}
+
 // Name implements opt.Optimizer.
 func (o *SA) Name() string { return "SA" }
 

@@ -56,6 +56,19 @@ func Factory(alpha float64) opt.Factory {
 	return opt.Factory{Name: name, New: func() opt.Optimizer { return New(alpha) }}
 }
 
+func init() {
+	opt.Register("dp", func(spec opt.Spec) (opt.Optimizer, error) {
+		alpha := spec.DPAlpha
+		if alpha == 0 {
+			alpha = 2
+		}
+		if alpha < 1 {
+			return nil, fmt.Errorf("DPAlpha %g < 1", alpha)
+		}
+		return New(alpha), nil
+	})
+}
+
 // Name renders the conventional display name for DP(alpha).
 func Name(alpha float64) string {
 	if math.IsInf(alpha, 1) {

@@ -37,6 +37,12 @@ func Factory() opt.Factory {
 	return opt.Factory{Name: "II", New: func() opt.Optimizer { return New() }}
 }
 
+func init() {
+	opt.Register("ii", func(opt.Spec) (opt.Optimizer, error) {
+		return New(), nil
+	})
+}
+
 // Name implements opt.Optimizer.
 func (o *II) Name() string { return "II" }
 

@@ -68,6 +68,12 @@ func Factory() opt.Factory {
 	return opt.Factory{Name: "NSGA-II", New: func() opt.Optimizer { return New(Config{}) }}
 }
 
+func init() {
+	opt.Register("nsga2", func(opt.Spec) (opt.Optimizer, error) {
+		return New(Config{}), nil
+	})
+}
+
 // Name implements opt.Optimizer.
 func (o *NSGA2) Name() string { return "NSGA-II" }
 

@@ -37,6 +37,12 @@ func Factory() opt.Factory {
 	return opt.Factory{Name: "2P", New: func() opt.Optimizer { return New() }}
 }
 
+func init() {
+	opt.Register("2p", func(opt.Spec) (opt.Optimizer, error) {
+		return New(), nil
+	})
+}
+
 // Name implements opt.Optimizer.
 func (o *TwoPhase) Name() string { return "2P" }
 

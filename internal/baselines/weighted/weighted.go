@@ -48,6 +48,12 @@ func Factory() opt.Factory {
 	return opt.Factory{Name: "WS", New: func() opt.Optimizer { return New(Config{}) }}
 }
 
+func init() {
+	opt.Register("ws", func(opt.Spec) (opt.Optimizer, error) {
+		return New(Config{}), nil
+	})
+}
+
 // Name implements opt.Optimizer.
 func (o *WS) Name() string { return "WS" }
 

@@ -70,6 +70,12 @@ func Factory() opt.Factory {
 	return opt.Factory{Name: "RMQ", New: func() opt.Optimizer { return New(Config{}) }}
 }
 
+func init() {
+	opt.Register("rmq", func(opt.Spec) (opt.Optimizer, error) {
+		return New(Config{}), nil
+	})
+}
+
 // Name implements opt.Optimizer.
 func (r *RMQ) Name() string { return "RMQ" }
 

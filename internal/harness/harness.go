@@ -9,6 +9,7 @@
 package harness
 
 import (
+	"context"
 	"math"
 	"math/rand/v2"
 	"runtime"
@@ -92,7 +93,14 @@ type caseOutcome struct {
 }
 
 // Run executes the scenario and aggregates medians across test cases.
-func Run(s Scenario) Result {
+// Cancelling the context aborts the remaining work; the result then
+// aggregates whatever measurements the interrupted runs produced up to
+// that point (curves may be truncated), so callers should check
+// ctx.Err() before interpreting a cancelled run's numbers.
+func Run(ctx context.Context, s Scenario) Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if s.Checkpoints <= 0 {
 		s.Checkpoints = 12
 	}
@@ -112,7 +120,7 @@ func Run(s Scenario) Result {
 		go func(c int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			outcomes[c] = runCase(s, c)
+			outcomes[c] = runCase(ctx, s, c)
 		}(c)
 	}
 	wg.Wait()
@@ -151,8 +159,13 @@ func checkpointTimes(s Scenario) []time.Duration {
 }
 
 // runCase generates test case c of the scenario and measures every
-// algorithm on it.
-func runCase(s Scenario, c int) caseOutcome {
+// algorithm on it. On a cancelled context it skips the (expensive)
+// workload generation and algorithm setup and reports +Inf errors, the
+// same encoding as "produced nothing".
+func runCase(ctx context.Context, s Scenario, c int) caseOutcome {
+	if ctx.Err() != nil {
+		return cancelledOutcome(s)
+	}
 	rng := rand.New(rand.NewPCG(s.BaseSeed+uint64(c)*1_000_003, 0x7465737463617365))
 	cat := catalog.Generate(catalog.GenSpec{
 		Tables:      s.Tables,
@@ -170,9 +183,16 @@ func runCase(s Scenario, c int) caseOutcome {
 	snapshots := make([][][]cost.Vector, len(s.Algorithms))
 	finals := make([][]cost.Vector, 0, len(s.Algorithms)+1)
 	for ai, f := range s.Algorithms {
+		if ctx.Err() != nil {
+			// Init alone can be expensive (NSGA-II builds a whole
+			// population); an empty snapshot row reads as +Inf error.
+			snapshots[ai] = make([][]cost.Vector, s.Checkpoints)
+			finals = append(finals, nil)
+			continue
+		}
 		o := f.New()
 		o.Init(problem, s.BaseSeed^(uint64(c)*2654435761+uint64(ai)*40503+17))
-		snapshots[ai] = runTimed(o, s.Budget, s.Checkpoints)
+		snapshots[ai] = runTimed(ctx, o, s.Budget, s.Checkpoints)
 		finals = append(finals, snapshots[ai][s.Checkpoints-1])
 		if r, ok := o.(*core.RMQ); ok {
 			st := r.Stats()
@@ -181,7 +201,7 @@ func runCase(s Scenario, c int) caseOutcome {
 		}
 	}
 	if s.RefAlpha > 0 {
-		if ref := referenceFrontier(problem, s.RefAlpha, s.RefBudget); ref != nil {
+		if ref := referenceFrontier(ctx, problem, s.RefAlpha, s.RefBudget); ref != nil {
 			finals = append(finals, ref)
 		}
 	}
@@ -195,22 +215,37 @@ func runCase(s Scenario, c int) caseOutcome {
 	return out
 }
 
-// runTimed steps the optimizer until the budget expires (or it finishes),
-// snapshotting the frontier's cost vectors at each checkpoint.
-func runTimed(o opt.Optimizer, budget time.Duration, checkpoints int) [][]cost.Vector {
+// cancelledOutcome is the well-shaped outcome of a test case skipped by
+// cancellation: +Inf error everywhere, no RMQ statistics.
+func cancelledOutcome(s Scenario) caseOutcome {
+	out := caseOutcome{
+		alphas:      make([][]float64, len(s.Algorithms)),
+		pathLength:  math.NaN(),
+		paretoPlans: math.NaN(),
+	}
+	for ai := range out.alphas {
+		out.alphas[ai] = make([]float64, s.Checkpoints)
+		for k := range out.alphas[ai] {
+			out.alphas[ai][k] = math.Inf(1)
+		}
+	}
+	return out
+}
+
+// runTimed steps the optimizer through the shared driver loop until the
+// budget expires (or it finishes), snapshotting the frontier's cost
+// vectors at each checkpoint.
+func runTimed(ctx context.Context, o opt.Optimizer, budget time.Duration, checkpoints int) [][]cost.Vector {
 	start := time.Now()
 	snaps := make([][]cost.Vector, 0, checkpoints)
 	interval := budget / time.Duration(checkpoints)
-	for {
-		more := o.Step()
+	opt.Drive(ctx, o, 0, func(int) bool {
 		elapsed := time.Since(start)
 		for len(snaps) < checkpoints && elapsed >= time.Duration(len(snaps)+1)*interval {
 			snaps = append(snaps, opt.Costs(o.Frontier()))
 		}
-		if !more || elapsed >= budget || len(snaps) >= checkpoints {
-			break
-		}
-	}
+		return elapsed < budget && len(snaps) < checkpoints
+	})
 	final := opt.Costs(o.Frontier())
 	for len(snaps) < checkpoints {
 		snaps = append(snaps, final)
@@ -220,18 +255,16 @@ func runTimed(o opt.Optimizer, budget time.Duration, checkpoints int) [][]cost.V
 
 // referenceFrontier runs DP(alpha) to completion (within refBudget) and
 // returns its frontier's cost vectors, or nil if it could not finish.
-func referenceFrontier(problem *opt.Problem, alpha float64, refBudget time.Duration) []cost.Vector {
+func referenceFrontier(ctx context.Context, problem *opt.Problem, alpha float64, refBudget time.Duration) []cost.Vector {
 	if refBudget <= 0 {
 		refBudget = 30 * time.Second
 	}
 	o := dp.New(alpha)
 	o.Init(problem, 0)
 	start := time.Now()
-	for o.Step() {
-		if time.Since(start) > refBudget {
-			return nil
-		}
-	}
+	opt.Drive(ctx, o, 0, func(int) bool {
+		return time.Since(start) <= refBudget
+	})
 	if !o.Done() {
 		return nil
 	}

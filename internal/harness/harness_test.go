@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -29,7 +30,7 @@ func smallScenario() Scenario {
 }
 
 func TestRunShapes(t *testing.T) {
-	res := Run(smallScenario())
+	res := Run(context.Background(), smallScenario())
 	if len(res.Times) != 4 {
 		t.Fatalf("times = %v", res.Times)
 	}
@@ -55,7 +56,7 @@ func TestRunShapes(t *testing.T) {
 }
 
 func TestRunCollectsRMQStats(t *testing.T) {
-	res := Run(smallScenario())
+	res := Run(context.Background(), smallScenario())
 	if math.IsNaN(res.MedianPathLength) {
 		t.Error("RMQ path length not collected")
 	}
@@ -67,7 +68,7 @@ func TestRunCollectsRMQStats(t *testing.T) {
 func TestRunFinalAlphaReasonable(t *testing.T) {
 	// The reference is the union of all final frontiers, so at least one
 	// algorithm must end with a finite (and usually small) α.
-	res := Run(smallScenario())
+	res := Run(context.Background(), smallScenario())
 	last := len(res.Times) - 1
 	best := math.Inf(1)
 	for _, s := range res.Series {
@@ -85,11 +86,28 @@ func TestRunWithReferenceDP(t *testing.T) {
 	s.Tables = 4
 	s.RefAlpha = 1.01
 	s.RefBudget = 10 * time.Second
-	res := Run(s)
+	res := Run(context.Background(), s)
 	last := len(res.Times) - 1
 	for _, series := range res.Series {
 		if series.Algorithm == "RMQ" && math.IsInf(series.Alpha[last], 1) {
 			t.Error("RMQ produced nothing on a 4-table query")
+		}
+	}
+}
+
+func TestRunCancelledReportsOffScale(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	res := Run(ctx, smallScenario())
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancelled run took %v", elapsed)
+	}
+	for _, s := range res.Series {
+		for k, a := range s.Alpha {
+			if !math.IsInf(a, 1) {
+				t.Errorf("%s α[%d] = %g on a cancelled run, want +Inf", s.Algorithm, k, a)
+			}
 		}
 	}
 }
@@ -131,7 +149,7 @@ func TestFormatAlpha(t *testing.T) {
 }
 
 func TestResultTableRendering(t *testing.T) {
-	res := Run(smallScenario())
+	res := Run(context.Background(), smallScenario())
 	table := res.Table()
 	for _, want := range []string{"time", "II", "RMQ", "0.030s"} {
 		if !strings.Contains(table, want) {

@@ -51,7 +51,12 @@ type Optimizer interface {
 	Step() bool
 	// Frontier returns the current result plans for the full query. The
 	// returned slice must not be modified and may alias internal state;
-	// it is valid until the next Step call.
+	// it is valid until the next Step call. Frontiers should be
+	// cumulative: a plan may disappear from later frontiers only when a
+	// plan at least as good (possibly approximately) replaced it. Run
+	// merges frontiers into its result archive at unspecified moments,
+	// so algorithms that drop undominated plans lose them from the
+	// merged result depending on merge timing.
 	Frontier() []*plan.Plan
 }
 

@@ -1,0 +1,72 @@
+package opt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Spec carries the per-run knobs an algorithm factory may consult when
+// constructing an optimizer instance. It exists so registered factories
+// share one signature; algorithms ignore fields that do not concern
+// them.
+type Spec struct {
+	// DPAlpha is the approximation factor for the dynamic-programming
+	// scheme; 0 selects the algorithm's default.
+	DPAlpha float64
+}
+
+// AlgorithmFactory constructs a fresh, uninitialized optimizer instance
+// for one run (or one worker of a parallel run) from a Spec. Factories
+// must be safe for concurrent use.
+type AlgorithmFactory func(Spec) (Optimizer, error)
+
+var registry = struct {
+	mu sync.RWMutex
+	m  map[string]AlgorithmFactory
+}{m: make(map[string]AlgorithmFactory)}
+
+// Register makes an algorithm constructible by name through NewNamed.
+// The built-in algorithms register themselves from their packages' init
+// functions; external algorithms may register additional names. It
+// panics if name is empty, factory is nil, or name is already taken —
+// registration is a programmer-level, init-time act, like sql.Register.
+func Register(name string, factory AlgorithmFactory) {
+	if name == "" {
+		panic("opt: Register with empty algorithm name")
+	}
+	if factory == nil {
+		panic(fmt.Sprintf("opt: Register(%q) with nil factory", name))
+	}
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if _, dup := registry.m[name]; dup {
+		panic(fmt.Sprintf("opt: Register(%q) called twice", name))
+	}
+	registry.m[name] = factory
+}
+
+// NewNamed constructs a fresh optimizer instance of the named algorithm.
+func NewNamed(name string, spec Spec) (Optimizer, error) {
+	registry.mu.RLock()
+	factory, ok := registry.m[name]
+	registry.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("unknown algorithm %q (registered: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return factory(spec)
+}
+
+// Names returns the registered algorithm names in sorted order.
+func Names() []string {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	names := make([]string, 0, len(registry.m))
+	for name := range registry.m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

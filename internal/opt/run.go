@@ -1,0 +1,206 @@
+package opt
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rmq/internal/plan"
+)
+
+// Drive is the anytime driver loop shared by every caller that steps an
+// optimizer: it steps o until the context is cancelled, o reports no
+// more work, maxSteps is reached (0 means unbounded), or after returns
+// false. after, when non-nil, runs after every step with the 1-based
+// step count; the optimizer is quiescent during the call, so after may
+// inspect o.Frontier(). Drive returns the number of steps performed.
+//
+// Cancellation is checked between steps, so reaction latency is bounded
+// by the duration of a single optimizer step.
+func Drive(ctx context.Context, o Optimizer, maxSteps int, after func(steps int) bool) int {
+	done := ctx.Done()
+	steps := 0
+	for {
+		select {
+		case <-done:
+			return steps
+		default:
+		}
+		more := o.Step()
+		steps++
+		if after != nil && !after(steps) {
+			return steps
+		}
+		if !more || (maxSteps > 0 && steps >= maxSteps) {
+			return steps
+		}
+	}
+}
+
+// Worker is one optimizer instance of a (possibly parallel) run. Each
+// worker needs its own Problem: a Problem memoizes cardinalities and is
+// not safe for concurrent use.
+type Worker struct {
+	Optimizer Optimizer
+	Problem   *Problem
+	Seed      uint64
+}
+
+// Event is an anytime notification emitted by Run whenever a worker
+// merged its frontier into the shared archive.
+type Event struct {
+	// Iterations is the total number of optimizer steps performed so
+	// far, summed across workers.
+	Iterations int
+	// Elapsed is the wall-clock time since the run started.
+	Elapsed time.Duration
+	// Improved reports whether the merge admitted at least one plan to
+	// the shared archive.
+	Improved bool
+
+	snapshot func() []*plan.Plan
+}
+
+// Snapshot returns a fresh copy of the current merged non-dominated
+// plan set. The copy is owned by the caller and stays valid after the
+// callback returns.
+func (e Event) Snapshot() []*plan.Plan { return e.snapshot() }
+
+// RunConfig parameterizes Run.
+type RunConfig struct {
+	// Workers are the optimizer instances to drive; one worker runs
+	// sequentially on the caller's goroutine, several run concurrently.
+	Workers []Worker
+	// MaxIterations caps the steps of each worker (0 = unbounded).
+	MaxIterations int
+	// MergeEvery is the number of steps a worker performs between
+	// merges of its frontier into the shared archive; default 1.
+	MergeEvery int
+	// Observe, when non-nil, is invoked after every merge. Calls are
+	// serialized across workers, so the callback needs no locking of
+	// its own; it must not block for long, since it stalls the merging
+	// worker.
+	Observe func(Event)
+}
+
+// RunResult is the outcome of a Run: the merged non-dominated plans and
+// aggregate statistics.
+type RunResult struct {
+	Plans      []*plan.Plan
+	Iterations int
+	Elapsed    time.Duration
+}
+
+// Run drives one or more optimizer workers until the context is
+// cancelled, every worker hits MaxIterations, or no worker has work
+// left. Workers merge their frontiers into a mutex-guarded shared
+// archive, so the result is the non-dominated union of everything any
+// worker reported. Merge moments are unspecified beyond "between steps,
+// and always once at the end" — with an observer workers merge every
+// MergeEvery steps, without one only at the end — so the result is
+// observation-independent exactly for the cumulative frontiers the
+// Optimizer contract asks for. Cancellation is the normal way to end an
+// unbounded run (anytime semantics): Run then returns the partial
+// result and a nil error, not the context's error.
+func Run(ctx context.Context, cfg RunConfig) (RunResult, error) {
+	if len(cfg.Workers) == 0 {
+		return RunResult{}, errors.New("opt: run needs at least one worker")
+	}
+	for _, w := range cfg.Workers {
+		if w.Optimizer == nil || w.Problem == nil {
+			return RunResult{}, errors.New("opt: worker needs an optimizer and a problem")
+		}
+	}
+	mergeEvery := cfg.MergeEvery
+	if mergeEvery <= 0 {
+		mergeEvery = 1
+	}
+	start := time.Now()
+	var (
+		mu      sync.Mutex // guards archive
+		archive Archive
+		cbMu    sync.Mutex // serializes Observe calls
+		total   atomic.Int64
+	)
+	snapshot := func() []*plan.Plan {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]*plan.Plan(nil), archive.Plans()...)
+	}
+	runWorker := func(w Worker) {
+		w.Optimizer.Init(w.Problem, w.Seed)
+		merge := func() bool {
+			frontier := w.Optimizer.Frontier()
+			mu.Lock()
+			defer mu.Unlock()
+			improved := false
+			for _, p := range frontier {
+				if archive.Add(p) {
+					improved = true
+				}
+			}
+			return improved
+		}
+		notify := func(improved bool) {
+			if cfg.Observe == nil {
+				return
+			}
+			// Iterations and Elapsed are sampled under cbMu so the
+			// serialized event stream stays monotonic across workers.
+			cbMu.Lock()
+			defer cbMu.Unlock()
+			cfg.Observe(Event{
+				Iterations: int(total.Load()),
+				Elapsed:    time.Since(start),
+				Improved:   improved,
+				snapshot:   snapshot,
+			})
+		}
+		// Without an observer nobody can see intermediate merges, so
+		// skip the per-step archive work entirely and merge once at
+		// the end — the merged result is then identical (the final
+		// frontier is all a worker contributes) but the hot loop pays
+		// no per-step dominance checks or mutex traffic.
+		sinceMerge := 0
+		merged := false
+		Drive(ctx, w.Optimizer, cfg.MaxIterations, func(int) bool {
+			total.Add(1)
+			if cfg.Observe != nil {
+				sinceMerge++
+				if sinceMerge >= mergeEvery {
+					sinceMerge = 0
+					merged = true
+					notify(merge())
+				} else {
+					merged = false
+				}
+			}
+			return true
+		})
+		// A final merge covers the steps since the last observed one
+		// and the whole run when no observer is configured.
+		if !merged {
+			notify(merge())
+		}
+	}
+	if len(cfg.Workers) == 1 {
+		runWorker(cfg.Workers[0])
+	} else {
+		var wg sync.WaitGroup
+		for _, w := range cfg.Workers {
+			wg.Add(1)
+			go func(w Worker) {
+				defer wg.Done()
+				runWorker(w)
+			}(w)
+		}
+		wg.Wait()
+	}
+	return RunResult{
+		Plans:      snapshot(),
+		Iterations: int(total.Load()),
+		Elapsed:    time.Since(start),
+	}, nil
+}

@@ -1,0 +1,210 @@
+package opt
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"rmq/internal/cost"
+	"rmq/internal/plan"
+)
+
+// scriptedOpt is a fake optimizer that reveals one pre-scripted plan per
+// step and reports no more work when the script is exhausted.
+type scriptedOpt struct {
+	script []*plan.Plan
+	shown  int
+	inits  int
+	seed   uint64
+}
+
+func (f *scriptedOpt) Name() string { return "scripted" }
+
+func (f *scriptedOpt) Init(p *Problem, seed uint64) {
+	f.shown = 0
+	f.inits++
+	f.seed = seed
+}
+
+func (f *scriptedOpt) Step() bool {
+	if f.shown < len(f.script) {
+		f.shown++
+	}
+	return f.shown < len(f.script)
+}
+
+func (f *scriptedOpt) Frontier() []*plan.Plan { return f.script[:f.shown] }
+
+func plans(costs ...[]float64) []*plan.Plan {
+	out := make([]*plan.Plan, len(costs))
+	for i, c := range costs {
+		out[i] = &plan.Plan{Cost: cost.New(c...)}
+	}
+	return out
+}
+
+func TestDriveStopsAtMaxSteps(t *testing.T) {
+	o := &scriptedOpt{script: plans([]float64{1}, []float64{2}, []float64{3}, []float64{4})}
+	o.Init(nil, 0)
+	if got := Drive(context.Background(), o, 2, nil); got != 2 {
+		t.Errorf("steps = %d, want 2", got)
+	}
+}
+
+func TestDriveStopsWhenOptimizerFinishes(t *testing.T) {
+	o := &scriptedOpt{script: plans([]float64{1}, []float64{2})}
+	o.Init(nil, 0)
+	if got := Drive(context.Background(), o, 0, nil); got != 2 {
+		t.Errorf("steps = %d, want 2 (script exhausted)", got)
+	}
+}
+
+func TestDriveStopsWhenAfterReturnsFalse(t *testing.T) {
+	o := &scriptedOpt{script: plans([]float64{1}, []float64{2}, []float64{3})}
+	o.Init(nil, 0)
+	steps := Drive(context.Background(), o, 0, func(s int) bool { return s < 1 })
+	if steps != 1 {
+		t.Errorf("steps = %d, want 1", steps)
+	}
+}
+
+func TestDriveCancelledBeforeFirstStep(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	o := &scriptedOpt{script: plans([]float64{1})}
+	o.Init(nil, 0)
+	if got := Drive(ctx, o, 0, nil); got != 0 {
+		t.Errorf("steps = %d, want 0 on pre-cancelled context", got)
+	}
+}
+
+func TestRunValidatesConfig(t *testing.T) {
+	if _, err := Run(context.Background(), RunConfig{}); err == nil {
+		t.Error("empty worker list accepted")
+	}
+	if _, err := Run(context.Background(), RunConfig{Workers: []Worker{{}}}); err == nil {
+		t.Error("nil optimizer/problem accepted")
+	}
+}
+
+func TestRunSequentialMergesAndCounts(t *testing.T) {
+	p := testProblem(t)
+	o := &scriptedOpt{script: plans([]float64{3, 3, 3}, []float64{1, 5, 5}, []float64{5, 1, 5})}
+	res, err := Run(context.Background(), RunConfig{
+		Workers: []Worker{{Optimizer: o, Problem: p, Seed: 42}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.inits != 1 || o.seed != 42 {
+		t.Errorf("worker init: inits=%d seed=%d", o.inits, o.seed)
+	}
+	if res.Iterations != 3 {
+		t.Errorf("iterations = %d, want 3", res.Iterations)
+	}
+	// All three scripted plans are mutually non-dominated.
+	if len(res.Plans) != 3 {
+		t.Errorf("merged plans = %d, want 3", len(res.Plans))
+	}
+}
+
+func TestRunParallelMergedFrontierNonDominated(t *testing.T) {
+	p1, p2 := testProblem(t), testProblem(t)
+	// Worker 2's second plan dominates worker 1's first plan.
+	w1 := &scriptedOpt{script: plans([]float64{4, 4, 4}, []float64{1, 9, 9})}
+	w2 := &scriptedOpt{script: plans([]float64{9, 9, 1}, []float64{2, 2, 2})}
+	res, err := Run(context.Background(), RunConfig{
+		Workers: []Worker{
+			{Optimizer: w1, Problem: p1, Seed: 1},
+			{Optimizer: w2, Problem: p2, Seed: 2},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 4 {
+		t.Errorf("iterations = %d, want 4", res.Iterations)
+	}
+	for i, a := range res.Plans {
+		for j, b := range res.Plans {
+			if i != j && a.Cost.Dominates(b.Cost) {
+				t.Fatalf("merged archive holds dominated plan: %v dominates %v", a.Cost, b.Cost)
+			}
+		}
+	}
+	// {4,4,4} must have been evicted by {2,2,2}.
+	for _, p := range res.Plans {
+		if p.Cost.At(0) == 4 {
+			t.Error("dominated plan {4,4,4} survived the merge")
+		}
+	}
+}
+
+func TestRunObserveEventsAreOrderedAndSnapshotsValid(t *testing.T) {
+	p := testProblem(t)
+	o := &scriptedOpt{script: plans([]float64{3, 3, 3}, []float64{2, 2, 2}, []float64{1, 1, 1})}
+	var events []Event
+	var snaps [][]*plan.Plan
+	res, err := Run(context.Background(), RunConfig{
+		Workers: []Worker{{Optimizer: o, Problem: p}},
+		Observe: func(ev Event) {
+			events = append(events, ev)
+			snaps = append(snaps, ev.Snapshot())
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("events = %d, want 3", len(events))
+	}
+	for i, ev := range events {
+		if !ev.Improved {
+			t.Errorf("event %d not improved (each scripted plan dominates its predecessor)", i)
+		}
+		if ev.Iterations != i+1 {
+			t.Errorf("event %d iterations = %d", i, ev.Iterations)
+		}
+		if len(snaps[i]) != 1 {
+			t.Errorf("snapshot %d has %d plans, want 1", i, len(snaps[i]))
+		}
+	}
+	if len(res.Plans) != 1 || res.Plans[0].Cost.At(0) != 1 {
+		t.Errorf("final plans = %v", Costs(res.Plans))
+	}
+}
+
+func TestRunMergeEveryBatchesNotifications(t *testing.T) {
+	p := testProblem(t)
+	o := &scriptedOpt{script: plans([]float64{3, 3, 3}, []float64{2, 2, 2}, []float64{1, 1, 1})}
+	calls := 0
+	_, err := Run(context.Background(), RunConfig{
+		Workers:    []Worker{{Optimizer: o, Problem: p}},
+		MergeEvery: 2,
+		Observe:    func(Event) { calls++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 steps with MergeEvery 2: one batched merge plus the final one.
+	if calls != 2 {
+		t.Errorf("observe calls = %d, want 2", calls)
+	}
+}
+
+func TestRunCancelledReturnsPartialResult(t *testing.T) {
+	p := testProblem(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	o := &scriptedOpt{script: plans([]float64{1, 1, 1})}
+	res, err := Run(ctx, RunConfig{Workers: []Worker{{Optimizer: o, Problem: p}}})
+	if err != nil {
+		t.Fatalf("cancellation must not be an error, got %v", err)
+	}
+	if res.Iterations != 0 {
+		t.Errorf("iterations = %d, want 0", res.Iterations)
+	}
+	if time.Duration(0) > res.Elapsed {
+		t.Errorf("elapsed = %v", res.Elapsed)
+	}
+}

@@ -1,0 +1,284 @@
+package rmq
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"rmq/internal/costmodel"
+	"rmq/internal/opt"
+)
+
+// Option configures one optimization run. Options passed to NewSession
+// become session defaults; options passed to Optimize apply on top of
+// them, later options overriding earlier ones.
+type Option func(*config)
+
+// config is the resolved run configuration after applying all options.
+type config struct {
+	metrics       []Metric
+	timeout       time.Duration
+	maxIterations int
+	seed          uint64
+	algorithm     Algorithm
+	dpAlpha       float64
+	parallelism   int
+	progress      func(Progress)
+	progressEvery int
+	onImprovement func(Progress)
+	err           error
+}
+
+// fail records the first option error; resolution reports it.
+func (c *config) fail(err error) {
+	if c.err == nil {
+		c.err = err
+	}
+}
+
+// resolveConfig applies the option layers in order and validates the
+// result.
+func resolveConfig(layers ...[]Option) (config, error) {
+	var c config
+	for _, layer := range layers {
+		for _, o := range layer {
+			if o != nil {
+				o(&c)
+			}
+		}
+	}
+	if c.err != nil {
+		return c, c.err
+	}
+	if len(c.metrics) == 0 {
+		c.metrics = costmodel.AllMetrics()
+	}
+	seen := make(map[Metric]bool, len(c.metrics))
+	for _, m := range c.metrics {
+		if m >= costmodel.NumMetrics {
+			return c, fmt.Errorf("rmq: unknown metric %v", m)
+		}
+		if seen[m] {
+			return c, fmt.Errorf("rmq: duplicate metric %v", m)
+		}
+		seen[m] = true
+	}
+	if c.parallelism <= 0 {
+		c.parallelism = 1
+	}
+	return c, nil
+}
+
+// WithMetrics selects the cost metric subset (the paper's l); the
+// default is all three. Duplicate or unknown metrics are rejected.
+func WithMetrics(metrics ...Metric) Option {
+	ms := append([]Metric(nil), metrics...)
+	return func(c *config) { c.metrics = ms }
+}
+
+// WithTimeout bounds the optimization wall-clock time, in addition to
+// any context deadline. If neither a context deadline, a timeout, nor an
+// iteration cap bounds the run, a default timeout of one second applies.
+func WithTimeout(d time.Duration) Option {
+	return func(c *config) {
+		if d <= 0 {
+			c.fail(fmt.Errorf("rmq: non-positive timeout %v", d))
+			return
+		}
+		c.timeout = d
+	}
+}
+
+// WithMaxIterations bounds the number of optimizer steps per worker (RMQ
+// iterations, NSGA-II generations, ...). With a fixed seed it makes runs
+// deterministic, independent of machine speed — including parallel runs,
+// whose merged frontier costs are then reproducible.
+func WithMaxIterations(n int) Option {
+	return func(c *config) {
+		if n < 0 {
+			c.fail(fmt.Errorf("rmq: negative iteration cap %d", n))
+			return
+		}
+		c.maxIterations = n
+	}
+}
+
+// WithSeed makes the run reproducible; runs with equal seeds and
+// iteration caps produce identical frontiers. In parallel runs each
+// worker derives its own seed from this one and its worker index.
+func WithSeed(seed uint64) Option {
+	return func(c *config) { c.seed = seed }
+}
+
+// WithAlgorithm selects the optimization algorithm by registry name;
+// default AlgoRMQ. See RegisterAlgorithm for plugging in external
+// algorithms.
+func WithAlgorithm(a Algorithm) Option {
+	return func(c *config) { c.algorithm = a }
+}
+
+// WithDPAlpha sets the approximation factor for AlgoDP (default 2).
+func WithDPAlpha(alpha float64) Option {
+	return func(c *config) { c.dpAlpha = alpha }
+}
+
+// WithParallelism runs n independent optimizer instances concurrently
+// (parallel multi-start), each with its own derived seed and its own
+// cost-model state, merging everything they find into one shared
+// non-dominated archive. n ≤ 1 means sequential. An iteration cap
+// applies per worker; Frontier.Iterations reports the sum. Multi-start
+// only pays off for randomized algorithms: a deterministic,
+// seed-ignoring algorithm like AlgoDP performs the same computation on
+// every worker.
+func WithParallelism(n int) Option {
+	return func(c *config) { c.parallelism = n }
+}
+
+// Progress is an anytime snapshot of a running optimization, as
+// delivered to WithProgress and OnImprovement callbacks.
+type Progress struct {
+	// Iterations is the total number of optimizer steps performed so
+	// far, summed across parallel workers.
+	Iterations int
+	// Elapsed is the wall-clock time since the run started.
+	Elapsed time.Duration
+	// Metrics is the metric subset the plan costs refer to.
+	Metrics []Metric
+	// Plans is the current merged non-dominated plan set, sorted by
+	// cost. The slice is a copy owned by the receiver.
+	Plans []*Plan
+}
+
+// WithProgress streams anytime frontier snapshots to fn, at most once
+// per `every` optimizer steps (every ≤ 1 reports after each step). The
+// callback runs on an optimizer goroutine — calls are serialized, but a
+// slow callback stalls the run.
+func WithProgress(every int, fn func(Progress)) Option {
+	return func(c *config) {
+		c.progress = fn
+		c.progressEvery = every
+	}
+}
+
+// OnImprovement invokes fn whenever the merged frontier improves, i.e. a
+// newly found plan was admitted to the non-dominated archive. The
+// callback runs on an optimizer goroutine — calls are serialized, but a
+// slow callback stalls the run.
+func OnImprovement(fn func(Progress)) Option {
+	return func(c *config) { c.onImprovement = fn }
+}
+
+// mergeEvery returns the worker merge cadence matching the streaming
+// options: every step when improvements must be detected, batched to
+// the progress interval when only throttled progress is wanted, and 0
+// (Run's default, irrelevant without an observer) otherwise.
+func (c *config) mergeEvery() int {
+	if c.onImprovement != nil {
+		return 1
+	}
+	if c.progress != nil && c.progressEvery > 1 {
+		return c.progressEvery
+	}
+	return 0
+}
+
+// observer builds the opt.Run observe callback for the configured
+// streaming options, or nil when none are set. Run serializes observe
+// calls, so the closure's state needs no locking.
+func (c *config) observer() func(opt.Event) {
+	progress, onImprove := c.progress, c.onImprovement
+	if progress == nil && onImprove == nil {
+		return nil
+	}
+	every := c.progressEvery
+	if every < 1 {
+		every = 1
+	}
+	metrics := append([]Metric(nil), c.metrics...)
+	next := every
+	return func(ev opt.Event) {
+		improve := onImprove != nil && ev.Improved
+		report := progress != nil && ev.Iterations >= next
+		if !improve && !report {
+			return
+		}
+		p := Progress{
+			Iterations: ev.Iterations,
+			Elapsed:    ev.Elapsed,
+			Metrics:    metrics,
+			Plans:      ev.Snapshot(),
+		}
+		sortPlans(p.Plans)
+		if improve {
+			onImprove(p)
+		}
+		if report {
+			for next <= ev.Iterations {
+				next += every
+			}
+			progress(p)
+		}
+	}
+}
+
+// Options configures OptimizeWithOptions, the pre-context form of the
+// API. The zero value optimizes with RMQ for one second under all three
+// cost metrics.
+//
+// Deprecated: Use Optimize with a context and functional options.
+type Options struct {
+	// Metrics is the cost metric subset (the paper's l); default all
+	// three.
+	Metrics []Metric
+	// Timeout bounds optimization time; default one second.
+	Timeout time.Duration
+	// MaxIterations, when > 0, additionally bounds the number of
+	// optimizer steps per worker.
+	MaxIterations int
+	// Seed makes the run reproducible; runs with equal seeds and
+	// MaxIterations produce identical frontiers.
+	Seed uint64
+	// Algorithm selects the optimizer; default AlgoRMQ.
+	Algorithm Algorithm
+	// DPAlpha is the approximation factor for AlgoDP; default 2.
+	DPAlpha float64
+	// Parallelism is the number of concurrent multi-start workers;
+	// default 1.
+	Parallelism int
+}
+
+// OptimizeWithOptions is the pre-context form of Optimize, kept so
+// existing callers migrate at their own pace. It cannot be cancelled.
+//
+// Deprecated: Use Optimize with a context and functional options.
+func OptimizeWithOptions(cat *Catalog, opts Options) (*Frontier, error) {
+	return Optimize(context.Background(), cat, opts.asOptions()...)
+}
+
+// asOptions translates the legacy struct (and its zero-value defaults)
+// into functional options.
+func (o Options) asOptions() []Option {
+	var out []Option
+	if len(o.Metrics) > 0 {
+		out = append(out, WithMetrics(o.Metrics...))
+	}
+	timeout := o.Timeout
+	if timeout <= 0 {
+		timeout = time.Second
+	}
+	out = append(out, WithTimeout(timeout))
+	if o.MaxIterations > 0 {
+		out = append(out, WithMaxIterations(o.MaxIterations))
+	}
+	out = append(out, WithSeed(o.Seed))
+	if o.Algorithm != "" {
+		out = append(out, WithAlgorithm(o.Algorithm))
+	}
+	if o.DPAlpha != 0 {
+		out = append(out, WithDPAlpha(o.DPAlpha))
+	}
+	if o.Parallelism > 1 {
+		out = append(out, WithParallelism(o.Parallelism))
+	}
+	return out
+}

@@ -16,31 +16,53 @@
 //
 // # Quick start
 //
+// Optimization is context-driven: the context's deadline or cancellation
+// ends the anytime refinement loop, and whatever frontier has been found
+// by then is returned.
+//
 //	cat := rmq.GenerateCatalog(rmq.WorkloadSpec{Tables: 20, Graph: rmq.Chain}, 1)
-//	frontier, err := rmq.Optimize(cat, rmq.Options{Timeout: time.Second})
+//	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+//	defer cancel()
+//	frontier, err := rmq.Optimize(ctx, cat)
 //	...
 //	best := frontier.Best(map[rmq.Metric]float64{rmq.MetricTime: 1})
 //
-// See the examples directory for complete programs and internal/harness
-// for the reproduction of the paper's experiments.
+// Runs are configured with functional options:
+//
+//	frontier, err := rmq.Optimize(ctx, cat,
+//		rmq.WithMetrics(rmq.MetricTime, rmq.MetricBuffer),
+//		rmq.WithSeed(7),
+//		rmq.WithParallelism(4),                  // 4 multi-start workers
+//		rmq.OnImprovement(func(p rmq.Progress) { // stream anytime results
+//			log.Printf("iter %d: %d plans", p.Iterations, len(p.Plans))
+//		}))
+//
+// Applications issuing many queries against the same database should
+// create a Session once and call its Optimize method per query: sessions
+// reuse warmed-up cost-model state across runs and are safe for
+// concurrent use.
+//
+//	sess, err := rmq.NewSession(cat, rmq.WithMetrics(rmq.MetricTime, rmq.MetricBuffer))
+//	...
+//	frontier, err := sess.Optimize(ctx, rmq.WithSeed(1))
+//
+// Algorithms beyond the built-in seven can be plugged in through
+// RegisterAlgorithm. See the examples directory for complete programs and
+// internal/harness for the reproduction of the paper's experiments.
 package rmq
 
 import (
+	"cmp"
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"slices"
 	"strings"
 	"time"
 
-	"rmq/internal/baselines/anneal"
-	"rmq/internal/baselines/dp"
-	"rmq/internal/baselines/iterimp"
-	"rmq/internal/baselines/nsga2"
-	"rmq/internal/baselines/twophase"
-	"rmq/internal/baselines/weighted"
 	"rmq/internal/catalog"
-	"rmq/internal/core"
 	"rmq/internal/cost"
 	"rmq/internal/costmodel"
 	"rmq/internal/opt"
@@ -127,61 +149,16 @@ func GenerateCatalog(spec WorkloadSpec, seed uint64) *Catalog {
 	}, rng)
 }
 
-// Algorithm selects the optimization algorithm.
-type Algorithm string
-
-// Available algorithms.
-const (
-	// AlgoRMQ is the paper's randomized multi-objective optimizer
-	// (default).
-	AlgoRMQ Algorithm = "rmq"
-	// AlgoII is multi-objective iterative improvement.
-	AlgoII Algorithm = "ii"
-	// AlgoSA is multi-objective simulated annealing.
-	AlgoSA Algorithm = "sa"
-	// Algo2P is two-phase optimization.
-	Algo2P Algorithm = "2p"
-	// AlgoNSGA2 is the NSGA-II genetic algorithm.
-	AlgoNSGA2 Algorithm = "nsga2"
-	// AlgoDP is the dynamic-programming approximation scheme; set
-	// Options.DPAlpha (default 2). Exponential in the table count — use
-	// for small queries only.
-	AlgoDP Algorithm = "dp"
-	// AlgoWS is the weighted-sum scalarization baseline. It can recover
-	// at most the convex hull of the Pareto frontier (see the paper's
-	// related-work discussion); provided for comparison.
-	AlgoWS Algorithm = "ws"
-)
-
-// Options configures Optimize. The zero value optimizes with RMQ for one
-// second under all three cost metrics.
-type Options struct {
-	// Metrics is the cost metric subset (the paper's l); default all
-	// three.
-	Metrics []Metric
-	// Timeout bounds optimization time; default one second.
-	Timeout time.Duration
-	// MaxIterations, when > 0, additionally bounds the number of
-	// optimizer steps (RMQ iterations, NSGA-II generations, ...). Useful
-	// for deterministic results independent of machine speed.
-	MaxIterations int
-	// Seed makes the run reproducible; runs with equal seeds and
-	// MaxIterations produce identical frontiers.
-	Seed uint64
-	// Algorithm selects the optimizer; default AlgoRMQ.
-	Algorithm Algorithm
-	// DPAlpha is the approximation factor for AlgoDP; default 2.
-	DPAlpha float64
-}
-
 // Frontier is the result of an optimization run: the plans approximating
 // the Pareto frontier of the query, plus run statistics.
 type Frontier struct {
-	// Plans are the mutually non-dominated result plans (by cost).
+	// Plans are the mutually non-dominated result plans, sorted by cost
+	// (lexicographically over the metric components).
 	Plans []*Plan
 	// Metrics is the metric subset the costs refer to.
 	Metrics []Metric
-	// Iterations is the number of optimizer steps performed.
+	// Iterations is the number of optimizer steps performed, summed
+	// across parallel workers.
 	Iterations int
 	// Elapsed is the wall-clock optimization time.
 	Elapsed time.Duration
@@ -189,91 +166,51 @@ type Frontier struct {
 
 // Optimize computes an approximation of the Pareto plan set for joining
 // all tables of the catalog.
-func Optimize(cat *Catalog, opts Options) (*Frontier, error) {
-	if cat == nil {
-		return nil, errors.New("rmq: nil catalog")
-	}
-	metrics := opts.Metrics
-	if len(metrics) == 0 {
-		metrics = costmodel.AllMetrics()
-	}
-	for _, m := range metrics {
-		if m >= costmodel.NumMetrics {
-			return nil, fmt.Errorf("rmq: unknown metric %v", m)
-		}
-	}
-	timeout := opts.Timeout
-	if timeout <= 0 {
-		timeout = time.Second
-	}
-	optimizer, err := newOptimizer(opts)
+//
+// The run ends when the context is cancelled or its deadline expires,
+// when WithTimeout or WithMaxIterations bounds are hit, or when the
+// algorithm finishes (only the exhaustive ones do). Cancellation is not
+// an error: the frontier found so far is returned — the anytime
+// semantics of the paper. If neither the context nor an option bounds
+// the run, a default timeout of one second applies.
+//
+// For repeated queries against the same catalog, create a Session once
+// and call its Optimize method instead.
+func Optimize(ctx context.Context, cat *Catalog, opts ...Option) (*Frontier, error) {
+	s, err := NewSession(cat)
 	if err != nil {
 		return nil, err
 	}
-
-	problem := opt.NewProblem(cat, metrics)
-	optimizer.Init(problem, opts.Seed)
-	start := time.Now()
-	iterations := 0
-	for {
-		more := optimizer.Step()
-		iterations++
-		if !more || time.Since(start) >= timeout {
-			break
-		}
-		if opts.MaxIterations > 0 && iterations >= opts.MaxIterations {
-			break
-		}
-	}
-
-	var archive opt.Archive
-	for _, p := range optimizer.Frontier() {
-		archive.Add(p)
-	}
-	plans := append([]*Plan(nil), archive.Plans()...)
-	sortPlansByFirstMetric(plans)
-	return &Frontier{
-		Plans:      plans,
-		Metrics:    append([]Metric(nil), metrics...),
-		Iterations: iterations,
-		Elapsed:    time.Since(start),
-	}, nil
+	return s.Optimize(ctx, opts...)
 }
 
-func newOptimizer(opts Options) (opt.Optimizer, error) {
-	switch opts.Algorithm {
-	case "", AlgoRMQ:
-		return core.New(core.Config{}), nil
-	case AlgoII:
-		return iterimp.New(), nil
-	case AlgoSA:
-		return anneal.New(anneal.Config{}), nil
-	case Algo2P:
-		return twophase.New(), nil
-	case AlgoNSGA2:
-		return nsga2.New(nsga2.Config{}), nil
-	case AlgoWS:
-		return weighted.New(weighted.Config{}), nil
-	case AlgoDP:
-		alpha := opts.DPAlpha
-		if alpha == 0 {
-			alpha = 2
-		}
-		if alpha < 1 {
-			return nil, fmt.Errorf("rmq: DPAlpha %g < 1", alpha)
-		}
-		return dp.New(alpha), nil
-	default:
-		return nil, fmt.Errorf("rmq: unknown algorithm %q", opts.Algorithm)
+// newOptimizer constructs a fresh optimizer instance for one worker of a
+// run from the resolved configuration, via the algorithm registry.
+func newOptimizer(cfg config) (opt.Optimizer, error) {
+	name := cfg.algorithm
+	if name == "" {
+		name = AlgoRMQ
 	}
+	o, err := opt.NewNamed(string(name), opt.Spec{DPAlpha: cfg.dpAlpha})
+	if err != nil {
+		return nil, fmt.Errorf("rmq: %w", err)
+	}
+	return o, nil
 }
 
-func sortPlansByFirstMetric(plans []*Plan) {
-	for i := 1; i < len(plans); i++ {
-		for j := i; j > 0 && plans[j].Cost.At(0) < plans[j-1].Cost.At(0); j-- {
-			plans[j], plans[j-1] = plans[j-1], plans[j]
+// sortPlans orders plans by cost, lexicographically over the metric
+// components, so result order is deterministic regardless of merge
+// interleaving in parallel runs.
+func sortPlans(plans []*Plan) {
+	slices.SortFunc(plans, func(a, b *Plan) int {
+		n := min(a.Cost.Dim(), b.Cost.Dim())
+		for i := 0; i < n; i++ {
+			if c := cmp.Compare(a.Cost.At(i), b.Cost.At(i)); c != 0 {
+				return c
+			}
 		}
-	}
+		return 0
+	})
 }
 
 // Best selects the frontier plan minimizing the weighted sum of
@@ -363,4 +300,12 @@ func (f *Frontier) String() string {
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// validCatalog guards the public entry points against nil catalogs.
+func validCatalog(cat *Catalog) error {
+	if cat == nil {
+		return errors.New("rmq: nil catalog")
+	}
+	return nil
 }

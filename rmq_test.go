@@ -1,6 +1,7 @@
 package rmq_test
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -17,7 +18,7 @@ func smallCatalog(t *testing.T) *rmq.Catalog {
 }
 
 func TestOptimizeDefaults(t *testing.T) {
-	f, err := rmq.Optimize(smallCatalog(t), rmq.Options{Timeout: 80 * time.Millisecond})
+	f, err := rmq.Optimize(context.Background(), smallCatalog(t), rmq.WithTimeout(80*time.Millisecond))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,11 +49,11 @@ func TestOptimizeDefaults(t *testing.T) {
 func TestOptimizeEveryAlgorithm(t *testing.T) {
 	cat := smallCatalog(t)
 	for _, algo := range []rmq.Algorithm{rmq.AlgoRMQ, rmq.AlgoII, rmq.AlgoSA, rmq.Algo2P, rmq.AlgoNSGA2, rmq.AlgoDP} {
-		f, err := rmq.Optimize(cat, rmq.Options{
-			Algorithm: algo,
-			Timeout:   200 * time.Millisecond,
-			Metrics:   []rmq.Metric{rmq.MetricTime, rmq.MetricBuffer},
-		})
+		f, err := rmq.Optimize(context.Background(), cat,
+			rmq.WithAlgorithm(algo),
+			rmq.WithTimeout(200*time.Millisecond),
+			rmq.WithMetrics(rmq.MetricTime, rmq.MetricBuffer),
+		)
 		if err != nil {
 			t.Fatalf("%s: %v", algo, err)
 		}
@@ -68,29 +69,39 @@ func TestOptimizeEveryAlgorithm(t *testing.T) {
 }
 
 func TestOptimizeErrors(t *testing.T) {
+	ctx := context.Background()
 	cat := smallCatalog(t)
-	if _, err := rmq.Optimize(nil, rmq.Options{}); err == nil {
+	if _, err := rmq.Optimize(ctx, nil); err == nil {
 		t.Error("nil catalog accepted")
 	}
-	if _, err := rmq.Optimize(cat, rmq.Options{Algorithm: "bogus"}); err == nil {
+	if _, err := rmq.Optimize(ctx, cat, rmq.WithAlgorithm("bogus")); err == nil {
 		t.Error("unknown algorithm accepted")
 	}
-	if _, err := rmq.Optimize(cat, rmq.Options{Metrics: []rmq.Metric{17}}); err == nil {
+	if _, err := rmq.Optimize(ctx, cat, rmq.WithMetrics(17)); err == nil {
 		t.Error("unknown metric accepted")
 	}
-	if _, err := rmq.Optimize(cat, rmq.Options{Algorithm: rmq.AlgoDP, DPAlpha: 0.5}); err == nil {
+	if _, err := rmq.Optimize(ctx, cat, rmq.WithMetrics(rmq.MetricTime, rmq.MetricTime)); err == nil {
+		t.Error("duplicate metric accepted")
+	}
+	if _, err := rmq.Optimize(ctx, cat, rmq.WithAlgorithm(rmq.AlgoDP), rmq.WithDPAlpha(0.5)); err == nil {
 		t.Error("DPAlpha < 1 accepted")
+	}
+	if _, err := rmq.Optimize(ctx, cat, rmq.WithTimeout(-time.Second)); err == nil {
+		t.Error("negative timeout accepted")
+	}
+	if _, err := rmq.Optimize(ctx, cat, rmq.WithMaxIterations(-1)); err == nil {
+		t.Error("negative iteration cap accepted")
 	}
 }
 
 func TestOptimizeDeterministicWithMaxIterations(t *testing.T) {
 	cat := smallCatalog(t)
 	run := func() []float64 {
-		f, err := rmq.Optimize(cat, rmq.Options{
-			Timeout:       10 * time.Second,
-			MaxIterations: 25,
-			Seed:          7,
-		})
+		f, err := rmq.Optimize(context.Background(), cat,
+			rmq.WithTimeout(10*time.Second),
+			rmq.WithMaxIterations(25),
+			rmq.WithSeed(7),
+		)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -114,11 +125,11 @@ func TestOptimizeDeterministicWithMaxIterations(t *testing.T) {
 }
 
 func TestFrontierBest(t *testing.T) {
-	f, err := rmq.Optimize(smallCatalog(t), rmq.Options{
-		Timeout:       5 * time.Second,
-		MaxIterations: 400,
-		Metrics:       []rmq.Metric{rmq.MetricTime, rmq.MetricBuffer},
-	})
+	f, err := rmq.Optimize(context.Background(), smallCatalog(t),
+		rmq.WithTimeout(5*time.Second),
+		rmq.WithMaxIterations(400),
+		rmq.WithMetrics(rmq.MetricTime, rmq.MetricBuffer),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,11 +160,11 @@ func TestFrontierBestEmpty(t *testing.T) {
 }
 
 func TestFrontierWithinBounds(t *testing.T) {
-	f, err := rmq.Optimize(smallCatalog(t), rmq.Options{
-		Timeout:       5 * time.Second,
-		MaxIterations: 200,
-		Metrics:       []rmq.Metric{rmq.MetricTime, rmq.MetricBuffer},
-	})
+	f, err := rmq.Optimize(context.Background(), smallCatalog(t),
+		rmq.WithTimeout(5*time.Second),
+		rmq.WithMaxIterations(200),
+		rmq.WithMetrics(rmq.MetricTime, rmq.MetricBuffer),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +188,7 @@ func TestFrontierWithinBounds(t *testing.T) {
 }
 
 func TestFrontierString(t *testing.T) {
-	f, err := rmq.Optimize(smallCatalog(t), rmq.Options{Timeout: 30 * time.Millisecond})
+	f, err := rmq.Optimize(context.Background(), smallCatalog(t), rmq.WithTimeout(30*time.Millisecond))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,16 +231,17 @@ func TestIntegrationRMQConvergesToExactFrontier(t *testing.T) {
 	cat := rmq.GenerateCatalog(rmq.WorkloadSpec{Tables: 5, Graph: rmq.Chain}, 17)
 	metrics := []rmq.Metric{rmq.MetricTime, rmq.MetricBuffer}
 
-	exact, err := rmq.Optimize(cat, rmq.Options{
-		Algorithm: rmq.AlgoDP, DPAlpha: 1,
-		Timeout: 30 * time.Second, Metrics: metrics,
-	})
+	exact, err := rmq.Optimize(context.Background(), cat,
+		rmq.WithAlgorithm(rmq.AlgoDP), rmq.WithDPAlpha(1),
+		rmq.WithTimeout(30*time.Second), rmq.WithMetrics(metrics...),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
-	approx, err := rmq.Optimize(cat, rmq.Options{
-		Timeout: 30 * time.Second, MaxIterations: 9000, Metrics: metrics, Seed: 3,
-	})
+	approx, err := rmq.Optimize(context.Background(), cat,
+		rmq.WithTimeout(30*time.Second), rmq.WithMaxIterations(9000),
+		rmq.WithMetrics(metrics...), rmq.WithSeed(3),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,10 +258,10 @@ func TestIntegrationRMQBeatsSA(t *testing.T) {
 	cat := rmq.GenerateCatalog(rmq.WorkloadSpec{Tables: 20, Graph: rmq.Star}, 23)
 	metrics := []rmq.Metric{rmq.MetricTime, rmq.MetricBuffer, rmq.MetricDisc}
 	run := func(algo rmq.Algorithm, iters int) []*rmq.Plan {
-		f, err := rmq.Optimize(cat, rmq.Options{
-			Algorithm: algo, Timeout: 20 * time.Second,
-			MaxIterations: iters, Metrics: metrics, Seed: 5,
-		})
+		f, err := rmq.Optimize(context.Background(), cat,
+			rmq.WithAlgorithm(algo), rmq.WithTimeout(20*time.Second),
+			rmq.WithMaxIterations(iters), rmq.WithMetrics(metrics...), rmq.WithSeed(5),
+		)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,158 @@
+package rmq
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"rmq/internal/opt"
+)
+
+// Session binds a catalog and default options for repeated optimization
+// of queries against the same database. Sessions reuse cost-model state
+// across runs: the memoized cardinality estimates of earlier runs warm
+// later ones, so repeated Optimize calls skip re-setup. A Session is
+// safe for concurrent use; concurrent runs and parallel workers each
+// borrow their own problem instance from an internal pool (the
+// underlying cost model is not concurrency-safe).
+type Session struct {
+	cat      *Catalog
+	defaults []Option
+
+	mu   sync.Mutex
+	pool map[string][]*opt.Problem
+}
+
+// NewSession creates a session over the catalog. The given options
+// become defaults for every run of the session; per-run options override
+// them. Option errors are reported here, eagerly.
+func NewSession(cat *Catalog, defaults ...Option) (*Session, error) {
+	if err := validCatalog(cat); err != nil {
+		return nil, err
+	}
+	cfg, err := resolveConfig(defaults)
+	if err != nil {
+		return nil, err
+	}
+	// Probe the algorithm factory so a misconfigured default (unknown
+	// algorithm, bad DPAlpha) fails at session setup, not per query.
+	if _, err := newOptimizer(cfg); err != nil {
+		return nil, err
+	}
+	return &Session{
+		cat:      cat,
+		defaults: append([]Option(nil), defaults...),
+		pool:     make(map[string][]*opt.Problem),
+	}, nil
+}
+
+// Catalog returns the session's catalog.
+func (s *Session) Catalog() *Catalog { return s.cat }
+
+// Optimize computes an approximation of the Pareto plan set for joining
+// all tables of the session's catalog, under the session defaults plus
+// the given per-run options. See the package-level Optimize for the
+// termination and cancellation contract.
+func (s *Session) Optimize(ctx context.Context, opts ...Option) (*Frontier, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg, err := resolveConfig(s.defaults, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	problems := s.acquire(cfg.metrics, cfg.parallelism)
+	defer s.release(cfg.metrics, problems)
+	workers := make([]opt.Worker, cfg.parallelism)
+	for i := range workers {
+		o, err := newOptimizer(cfg)
+		if err != nil {
+			return nil, err
+		}
+		workers[i] = opt.Worker{
+			Optimizer: o,
+			Problem:   problems[i],
+			Seed:      workerSeed(cfg.seed, i),
+		}
+	}
+
+	// The context deadline is the primary budget; WithTimeout tightens
+	// it, and a default of one second kicks in when nothing else bounds
+	// the run.
+	timeout := cfg.timeout
+	if timeout <= 0 && cfg.maxIterations == 0 {
+		if _, hasDeadline := ctx.Deadline(); !hasDeadline {
+			timeout = time.Second
+		}
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	res, err := opt.Run(ctx, opt.RunConfig{
+		Workers:       workers,
+		MaxIterations: cfg.maxIterations,
+		MergeEvery:    cfg.mergeEvery(),
+		Observe:       cfg.observer(),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("rmq: %w", err)
+	}
+	plans := append([]*Plan(nil), res.Plans...)
+	sortPlans(plans)
+	return &Frontier{
+		Plans:      plans,
+		Metrics:    append([]Metric(nil), cfg.metrics...),
+		Iterations: res.Iterations,
+		Elapsed:    res.Elapsed,
+	}, nil
+}
+
+// workerSeed derives the seed of worker i from the run seed. Worker 0
+// keeps the run seed, so sequential runs match the pre-parallelism
+// behavior; higher workers get well-spread distinct seeds.
+func workerSeed(seed uint64, i int) uint64 {
+	if i == 0 {
+		return seed
+	}
+	return seed + uint64(i)*0x9E3779B97F4A7C15 // golden-ratio increment
+}
+
+// metricsKey canonically encodes a metric subset for the problem pool.
+func metricsKey(metrics []Metric) string {
+	key := make([]byte, len(metrics))
+	for i, m := range metrics {
+		key[i] = byte(m)
+	}
+	return string(key)
+}
+
+// acquire takes n problem instances for the metric subset from the
+// pool, creating the shortfall. Each borrowed problem is used by exactly
+// one worker at a time.
+func (s *Session) acquire(metrics []Metric, n int) []*opt.Problem {
+	key := metricsKey(metrics)
+	s.mu.Lock()
+	free := s.pool[key]
+	take := min(n, len(free))
+	got := append([]*opt.Problem(nil), free[len(free)-take:]...)
+	s.pool[key] = free[:len(free)-take]
+	s.mu.Unlock()
+	for len(got) < n {
+		got = append(got, opt.NewProblem(s.cat, metrics))
+	}
+	return got
+}
+
+// release returns borrowed problem instances to the pool, warmed by the
+// run that used them.
+func (s *Session) release(metrics []Metric, problems []*opt.Problem) {
+	key := metricsKey(metrics)
+	s.mu.Lock()
+	s.pool[key] = append(s.pool[key], problems...)
+	s.mu.Unlock()
+}

@@ -1,0 +1,56 @@
+# Developer entry points. Benchmark targets all go through
+# cmd/benchreport so local runs produce exactly the JSON schema CI
+# consumes (internal/benchio, schema rmq-bench/v1).
+
+GO ?= go
+
+# Benchmarks gated by CI (must match .github/workflows/ci.yml).
+GATE_BENCH = BenchmarkClimb50$$|BenchmarkAblationClimb|BenchmarkRMQIteration50|BenchmarkJoinCost|BenchmarkNewJoin|BenchmarkStrictlyDominates|BenchmarkStepSteadyState
+GATE_PKGS  = ./internal/core ./internal/costmodel ./internal/cost
+BENCH_OUT ?= BENCH_$(shell date +%F).json
+THRESHOLD ?= 0.2
+
+.PHONY: build test race vet fmt lint bench bench-full bench-diff bench-baseline
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l .
+
+lint:
+	staticcheck ./...
+
+## bench: run the CI-gated microbenchmarks, writing $(BENCH_OUT).
+bench:
+	$(GO) run ./cmd/benchreport run -bench '$(GATE_BENCH)' \
+		-packages "$(GATE_PKGS)" -benchtime 1s -out $(BENCH_OUT)
+
+## bench-full: the full suite (figure regenerations included) at 1x.
+bench-full:
+	$(GO) run ./cmd/benchreport run -bench . -packages ./... \
+		-benchtime 1x -timeout 30m -out $(BENCH_OUT)
+
+## bench-diff: compare a fresh gated run against the checked-in
+## baseline, failing on >$(THRESHOLD) ns/op regression (the CI gate).
+bench-diff:
+	$(GO) run ./cmd/benchreport run -bench '$(GATE_BENCH)' \
+		-packages "$(GATE_PKGS)" -benchtime 1s -out /tmp/rmq-bench-head.json
+	$(GO) run ./cmd/benchreport diff -threshold $(THRESHOLD) \
+		bench/baseline.json /tmp/rmq-bench-head.json
+
+## bench-baseline: refresh the checked-in regression baseline from the
+## current tree (run when hot-path performance changes intentionally).
+bench-baseline:
+	$(GO) run ./cmd/benchreport run -bench '$(GATE_BENCH)' \
+		-packages "$(GATE_PKGS)" -benchtime 1s -count 3 \
+		-label "CI regression gate baseline" -out bench/baseline.json

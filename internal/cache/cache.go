@@ -116,30 +116,115 @@ func (b *Bucket) Insert(newPlan *plan.Plan, alpha float64) bool {
 // Cache is the plan cache P: for each table set, the frontier of
 // non-dominated partial plans found so far. Not safe for concurrent use;
 // each optimizer run owns one.
+//
+// Buckets are indexed by the interned table-set id (tableset.ID) rather
+// than a Set-keyed map, so the probes of the frontier-approximation inner
+// loop are array loads instead of hashes. The cache therefore shares the
+// interner of the cost model whose plans it stores: plan.RelID values
+// index directly into the bucket table. Plans with RelID == tableset.NoID
+// (hand-built, or past the interner capacity) take a Set-keyed overflow
+// path.
 type Cache struct {
-	buckets map[tableset.Set]*Bucket
+	in       *tableset.Interner
+	buckets  []*Bucket // indexed by tableset.ID; index 0 unused
+	overflow map[tableset.Set]*Bucket
+	// private marks a cache whose interner was created internally rather
+	// than shared by the plans' cost model. Plan RelIDs then belong to a
+	// foreign id namespace and must be ignored — every probe interns the
+	// set instead, which is correct but forgoes the indexed fast path.
+	private bool
+	sets    int
 	plans   int
 }
 
-// New returns an empty cache.
-func New() *Cache {
-	return &Cache{buckets: make(map[tableset.Set]*Bucket)}
+// New returns an empty cache over the given interner, which must be the
+// one of the cost model constructing the cached plans (see
+// costmodel.Model.Interner) so that plan RelIDs agree with bucket
+// indices. A nil interner gives the cache a private one; plan RelIDs
+// (assigned by some other interner) are then ignored entirely.
+func New(in *tableset.Interner) *Cache {
+	if in == nil {
+		return &Cache{in: tableset.NewInterner(), private: true}
+	}
+	return &Cache{in: in}
+}
+
+// bucketAt returns the bucket with the given id, creating it if absent.
+func (c *Cache) bucketAt(id tableset.ID) *Bucket {
+	if int(id) >= len(c.buckets) {
+		grown := make([]*Bucket, int(id)+1+len(c.buckets)/2)
+		copy(grown, c.buckets)
+		c.buckets = grown
+	}
+	b := c.buckets[id]
+	if b == nil {
+		b = &Bucket{cache: c}
+		c.buckets[id] = b
+		c.sets++
+	}
+	return b
+}
+
+// overflowBucket returns the Set-keyed bucket for sets without a valid
+// interned id, creating it if absent.
+func (c *Cache) overflowBucket(rel tableset.Set) *Bucket {
+	b := c.overflow[rel]
+	if b == nil {
+		if c.overflow == nil {
+			c.overflow = make(map[tableset.Set]*Bucket)
+		}
+		b = &Bucket{cache: c}
+		c.overflow[rel] = b
+		c.sets++
+	}
+	return b
 }
 
 // Bucket returns the bucket for the table set, creating it if absent.
 func (c *Cache) Bucket(rel tableset.Set) *Bucket {
-	b := c.buckets[rel]
-	if b == nil {
-		b = &Bucket{cache: c}
-		c.buckets[rel] = b
+	if id := c.in.Intern(rel); id != tableset.NoID {
+		return c.bucketAt(id)
 	}
-	return b
+	return c.overflowBucket(rel)
+}
+
+// BucketFor returns the bucket holding plans for p's table set, using the
+// interned id carried by the plan when it has one. Hot loops that walk
+// model-built plans should prefer it over Bucket.
+func (c *Cache) BucketFor(p *plan.Plan) *Bucket {
+	if p.RelID != tableset.NoID && !c.private {
+		return c.bucketAt(p.RelID)
+	}
+	return c.Bucket(p.Rel)
+}
+
+// GetID returns the cached frontier for the interned table-set id; nil if
+// nothing is cached. Callers must not modify the returned slice.
+func (c *Cache) GetID(id tableset.ID) []*plan.Plan {
+	if id > tableset.NoID && int(id) < len(c.buckets) {
+		if b := c.buckets[id]; b != nil {
+			return b.plans
+		}
+	}
+	return nil
+}
+
+// GetFor returns the cached frontier for p's table set, via the plan's
+// interned id when present.
+func (c *Cache) GetFor(p *plan.Plan) []*plan.Plan {
+	if p.RelID != tableset.NoID && !c.private {
+		return c.GetID(p.RelID)
+	}
+	return c.Get(p.Rel)
 }
 
 // Get returns the cached frontier for the table set (P[rel]); nil if the
 // set was never seen. Callers must not modify the returned slice.
 func (c *Cache) Get(rel tableset.Set) []*plan.Plan {
-	if b := c.buckets[rel]; b != nil {
+	if id := c.in.Lookup(rel); id != tableset.NoID {
+		return c.GetID(id)
+	}
+	if b := c.overflow[rel]; b != nil {
 		return b.plans
 	}
 	return nil
@@ -148,11 +233,11 @@ func (c *Cache) Get(rel tableset.Set) []*plan.Plan {
 // Insert prunes newPlan into the frontier of its table set using
 // PruneApprox with the given α and reports whether it was admitted.
 func (c *Cache) Insert(newPlan *plan.Plan, alpha float64) bool {
-	return c.Bucket(newPlan.Rel).Insert(newPlan, alpha)
+	return c.BucketFor(newPlan).Insert(newPlan, alpha)
 }
 
 // NumSets returns the number of distinct table sets with cached plans.
-func (c *Cache) NumSets() int { return len(c.buckets) }
+func (c *Cache) NumSets() int { return c.sets }
 
 // NumPlans returns the total number of cached plans across all table
 // sets.

@@ -44,6 +44,9 @@ type Catalog struct {
 	// product); the paper's plan space is unconstrained, so any join is
 	// allowed.
 	adj [][]neighbor
+	// lrows[t] caches ln(tables[t].Rows); the estimator reads it on every
+	// cardinality miss.
+	lrows []float64
 }
 
 type neighbor struct {
@@ -65,10 +68,12 @@ func New(tables []Table, edges []Edge) (*Catalog, error) {
 		edges:  append([]Edge(nil), edges...),
 		adj:    make([][]neighbor, len(tables)),
 	}
+	c.lrows = make([]float64, len(c.tables))
 	for i, t := range c.tables {
 		if t.Rows < 1 {
 			return nil, fmt.Errorf("catalog: table %d (%s) has cardinality %g < 1", i, t.Name, t.Rows)
 		}
+		c.lrows[i] = math.Log(t.Rows)
 	}
 	for _, e := range c.edges {
 		if e.A < 0 || e.A >= len(tables) || e.B < 0 || e.B >= len(tables) || e.A == e.B {
@@ -107,8 +112,8 @@ func (c *Catalog) Edges() []Edge { return c.edges }
 // in the paper's model (a query is a table set to be joined).
 func (c *Catalog) AllTables() tableset.Set { return tableset.Range(len(c.tables)) }
 
-// logRows returns ln(rows) of table t.
-func (c *Catalog) logRows(t int) float64 { return math.Log(c.tables[t].Rows) }
+// logRows returns ln(rows) of table t (precomputed at construction).
+func (c *Catalog) logRows(t int) float64 { return c.lrows[t] }
 
 // logSelBetween returns the summed log-selectivity of all join edges with
 // one endpoint in `inA` restricted to the single table t. Used by the

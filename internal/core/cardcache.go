@@ -1,0 +1,67 @@
+package core
+
+import "rmq/internal/tableset"
+
+// cardCache is a small, bounded, lossy cache of candidate-join
+// cardinalities, private to one climber. The move search prices the same
+// transient table sets repeatedly across the passes of one climb, but
+// rarely across climbs (each climb starts from a fresh random plan), so
+// the global estimator memo is the wrong tool: it pays a map probe per
+// lookup and grows without bound on a stream of never-to-be-seen-again
+// sets. This cache is a fixed-size open-addressed table: lookups are a
+// few array accesses, collisions simply evict (values are recomputable),
+// and nothing ever allocates. Values come from Estimator.CardDirect and
+// are therefore bit-identical to the memoized paths; since a climber is
+// bound to one model for its lifetime and cardinality is a pure function
+// of the table set, entries never go stale. Cardinalities are clamped to
+// ≥ 1, so a zero value marks an empty slot.
+type cardCache struct {
+	keys [cardCacheSize]tableset.Set
+	vals [cardCacheSize]float64
+}
+
+// cardCacheSize is the number of slots; must be a power of two. Sized
+// for the candidate sets of one climb of a ~100-table plan.
+const cardCacheSize = 1 << 11
+
+// cardCacheProbes bounds the linear probe sequence.
+const cardCacheProbes = 4
+
+// get returns the cached cardinality of rel, if present.
+func (cc *cardCache) get(rel tableset.Set) (float64, bool) {
+	i := rel.Hash64() & (cardCacheSize - 1)
+	for p := 0; p < cardCacheProbes; p++ {
+		j := (i + uint64(p)) & (cardCacheSize - 1)
+		if cc.vals[j] != 0 && cc.keys[j] == rel {
+			return cc.vals[j], true
+		}
+	}
+	return 0, false
+}
+
+// put stores the cardinality of rel, evicting within its probe window if
+// every slot is occupied.
+func (cc *cardCache) put(rel tableset.Set, v float64) {
+	i := rel.Hash64() & (cardCacheSize - 1)
+	j := i & (cardCacheSize - 1)
+	for p := 0; p < cardCacheProbes; p++ {
+		k := (i + uint64(p)) & (cardCacheSize - 1)
+		if cc.vals[k] == 0 {
+			j = k
+			break
+		}
+	}
+	cc.keys[j] = rel
+	cc.vals[j] = v
+}
+
+// candidateCard returns the cardinality of joining rel, serving repeats
+// from the climber-local cache.
+func (c *Climber) candidateCard(rel tableset.Set) float64 {
+	if v, ok := c.cards.get(rel); ok {
+		return v
+	}
+	v := c.model.CardDirect(rel)
+	c.cards.put(rel, v)
+	return v
+}

@@ -19,6 +19,7 @@ package core
 
 import (
 	"rmq/internal/cache"
+	"rmq/internal/cost"
 	"rmq/internal/costmodel"
 	"rmq/internal/mutate"
 	"rmq/internal/plan"
@@ -65,28 +66,57 @@ func (c ClimbConfig) maxSteps(n int) int {
 }
 
 // Climber performs multi-objective hill climbing over plans of one cost
-// model. It reuses internal buffers and is not safe for concurrent use.
+// model. It reuses internal buffers (a candidate buffer and a scratch
+// plan arena) and is not safe for concurrent use.
 type Climber struct {
-	model *costmodel.Model
-	cfg   ClimbConfig
-	buf   []*plan.Plan
+	model   *costmodel.Model
+	cfg     ClimbConfig
+	buf     []*plan.Plan
+	scratch *plan.Scratch
+	// undoLog journals the in-place changes of the current speculative
+	// climbing pass so a pass failing the strict-improvement gate can be
+	// reverted (see climbInPlace).
+	undoLog []mutate.Undo
+	// evNode, evChild, evRootA and evRootB are reusable evaluator
+	// buffers for the move search; keeping them out of the recursion
+	// frames avoids re-zeroing them on every node visit.
+	evNode, evChild  costmodel.JoinEval
+	evRootA, evRootB costmodel.OpEval
+	// vecBuf receives batch-priced candidate cost vectors (OpCostAll).
+	vecBuf [16]cost.Vector
+	// cards caches candidate-join cardinalities for the current climb.
+	cards cardCache
 }
 
 // NewClimber returns a climber over the model with the given
 // configuration.
 func NewClimber(m *costmodel.Model, cfg ClimbConfig) *Climber {
-	return &Climber{model: m, cfg: cfg}
+	return &Climber{model: m, cfg: cfg, scratch: plan.NewScratch()}
+}
+
+// useInPlace reports whether the configuration is served by the
+// allocation-free in-place fast path (the default single-incumbent mode
+// over the bushy space; see climbinplace.go).
+func (c *Climber) useInPlace() bool {
+	return !c.cfg.Naive && !c.cfg.PerFormat && c.cfg.Space == mutate.Bushy
 }
 
 // Climb is the ParetoClimb function of Algorithm 2: it repeatedly applies
 // climbing steps until no step yields a plan strictly dominating the
 // current one, returning the locally Pareto-optimal plan and the path
 // length (number of improving moves) — the statistic of Figure 3.
+//
+// In the default configuration the whole climb runs in place on a
+// scratch copy of p and only the final plan is materialized; the input
+// plan and the result are immutable as ever.
 func (c *Climber) Climb(p *plan.Plan) (*plan.Plan, int) {
+	if c.useInPlace() {
+		return c.climbInPlace(p)
+	}
 	limit := c.cfg.maxSteps(p.Rel.Count())
 	steps := 0
 	for steps < limit {
-		next := c.step(p)
+		next := c.Step(p)
 		if next == nil {
 			break
 		}
@@ -96,10 +126,12 @@ func (c *Climber) Climb(p *plan.Plan) (*plan.Plan, int) {
 	return p, steps
 }
 
-// step performs one climbing move, returning a plan that strictly
+// Step performs one climbing move, returning a plan that strictly
 // dominates p, or nil when p is a local Pareto optimum for the step
-// function.
-func (c *Climber) step(p *plan.Plan) *plan.Plan {
+// function. The returned plan is immutable; in the default configuration
+// the move search runs allocation-free on a scratch copy and only an
+// improved result is materialized.
+func (c *Climber) Step(p *plan.Plan) *plan.Plan {
 	if c.cfg.Naive {
 		return c.naiveStep(p)
 	}
@@ -112,11 +144,7 @@ func (c *Climber) step(p *plan.Plan) *plan.Plan {
 		return nil
 	}
 	if !c.cfg.PerFormat {
-		// Single-incumbent mode uses the allocation-free fast path.
-		if pm := c.fastParetoStep(p); pm.Cost.StrictlyDominates(p.Cost) {
-			return pm
-		}
-		return nil
+		return c.stepInPlace(p)
 	}
 	for _, pm := range c.paretoStep(p) {
 		if pm.Cost.StrictlyDominates(p.Cost) {

@@ -51,50 +51,92 @@ func TestClimbReachesLocalOptimum(t *testing.T) {
 	for i := 0; i < 20; i++ {
 		p := randplan.Random(m, m.Catalog().AllTables(), rng)
 		optPlan, _ := c.Climb(p)
-		if next := c.step(optPlan); next != nil {
+		if next := c.Step(optPlan); next != nil {
 			t.Fatalf("climbed plan still improvable: %v -> %v", optPlan.Cost, next.Cost)
 		}
 	}
 }
 
-// TestFastStepMatchesReferenceStep cross-checks the allocation-free fast
-// path against a reference single-incumbent implementation built on
-// mutate.Append with the same enumeration order.
-func TestFastStepMatchesReferenceStep(t *testing.T) {
-	m := testModel(t, 9, 7)
-	rng := rand.New(rand.NewPCG(8, 8))
-	c := NewClimber(m, ClimbConfig{})
-	var refStep func(p *plan.Plan) *plan.Plan
-	refStep = func(p *plan.Plan) *plan.Plan {
-		if !p.IsJoin() {
-			best := p
-			for _, mu := range mutate.Append(m, p, nil) {
-				if mu.Cost.StrictlyDominates(best.Cost) {
-					best = mu
-				}
-			}
-			return best
-		}
-		outer := refStep(p.Outer)
-		inner := refStep(p.Inner)
-		rebuilt := p
-		if outer != p.Outer || inner != p.Inner {
-			rebuilt = m.NewJoinWithCard(mutate.PickRootOp(p.Join, inner.Output), outer, inner, p.Card)
-		}
-		best := rebuilt
-		for _, mu := range mutate.Append(m, rebuilt, nil) {
+// refParetoStep is a reference single-incumbent ParetoStep built on
+// mutate.Append with the canonical enumeration order; the in-place fast
+// path must match it bit for bit.
+func refParetoStep(m *costmodel.Model, p *plan.Plan) *plan.Plan {
+	if !p.IsJoin() {
+		best := p
+		for _, mu := range mutate.Append(m, p, nil) {
 			if mu.Cost.StrictlyDominates(best.Cost) {
 				best = mu
 			}
 		}
 		return best
 	}
+	outer := refParetoStep(m, p.Outer)
+	inner := refParetoStep(m, p.Inner)
+	rebuilt := p
+	if outer != p.Outer || inner != p.Inner {
+		rebuilt = m.NewJoinWithCard(mutate.PickRootOp(p.Join, inner.Output), outer, inner, p.Card)
+	}
+	best := rebuilt
+	for _, mu := range mutate.Append(m, rebuilt, nil) {
+		if mu.Cost.StrictlyDominates(best.Cost) {
+			best = mu
+		}
+	}
+	return best
+}
+
+// TestFastStepMatchesReferenceStep cross-checks the allocation-free
+// in-place fast path against the mutate.Append-based reference step on
+// random plans.
+func TestFastStepMatchesReferenceStep(t *testing.T) {
+	m := testModel(t, 9, 7)
+	rng := rand.New(rand.NewPCG(8, 8))
+	c := NewClimber(m, ClimbConfig{})
 	for i := 0; i < 40; i++ {
 		p := randplan.Random(m, m.Catalog().AllTables(), rng)
-		fast := c.fastParetoStep(p)
-		ref := refStep(p)
-		if !fast.Cost.Equal(ref.Cost) {
-			t.Fatalf("fast path diverged on plan %d:\nfast %v\nref  %v", i, fast.Cost, ref.Cost)
+		fast := c.Step(p)
+		ref := refParetoStep(m, p)
+		if ref.Cost.StrictlyDominates(p.Cost) {
+			if fast == nil {
+				t.Fatalf("fast path missed an improvement on plan %d: ref %v", i, ref.Cost)
+			}
+			if !fast.Cost.Equal(ref.Cost) {
+				t.Fatalf("fast path diverged on plan %d:\nfast %v\nref  %v", i, fast.Cost, ref.Cost)
+			}
+			if err := fast.Validate(); err != nil {
+				t.Fatalf("fast path built an invalid plan: %v", err)
+			}
+		} else if fast != nil {
+			t.Fatalf("fast path improved a reference local optimum on plan %d: %v", i, fast.Cost)
+		}
+	}
+}
+
+// TestInPlaceClimbMatchesReferenceClimb cross-checks the whole in-place
+// climb (clean-subtree skipping included) against repeated reference
+// steps: same final cost, same path length.
+func TestInPlaceClimbMatchesReferenceClimb(t *testing.T) {
+	m := testModel(t, 10, 21)
+	rng := rand.New(rand.NewPCG(22, 22))
+	c := NewClimber(m, ClimbConfig{})
+	for i := 0; i < 25; i++ {
+		p := randplan.Random(m, m.Catalog().AllTables(), rng)
+		got, gotSteps := c.Climb(p)
+		ref, refSteps := p, 0
+		for {
+			next := refParetoStep(m, ref)
+			if !next.Cost.StrictlyDominates(ref.Cost) {
+				break
+			}
+			ref = next
+			refSteps++
+		}
+		if !got.Cost.Equal(ref.Cost) || gotSteps != refSteps {
+			t.Fatalf("in-place climb diverged on plan %d:\nfast %v after %d steps\nref  %v after %d steps",
+				i, got.Cost, gotSteps, ref.Cost, refSteps)
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("in-place climb built an invalid plan: %v", err)
 		}
 	}
 }

@@ -33,19 +33,24 @@ func approximateFrontiers(m *costmodel.Model, p *plan.Plan, pc *cache.Cache, alp
 	if p.IsJoin() {
 		approximateFrontiers(m, p.Outer, pc, alpha)
 		approximateFrontiers(m, p.Inner, pc, alpha)
-		outers := pc.Get(p.Outer.Rel)
-		inners := pc.Get(p.Inner.Rel)
+		outers := pc.GetFor(p.Outer)
+		inners := pc.GetFor(p.Inner)
 		// Iterating the children's frontiers while inserting into the
 		// parent's is safe: the table sets differ, so the buckets are
 		// distinct.
-		bucket := pc.Bucket(p.Rel)
+		bucket := pc.BucketFor(p)
 		card := p.Card // p joins exactly the table set whose frontier we build
+		var ev costmodel.JoinEval
 		for _, outer := range outers {
 			for _, inner := range inners {
+				// The operator-independent evaluation work is shared
+				// across the operator loop.
+				m.PrepareJoin(&ev, outer.Card, inner.Card, card)
+				base := m.CombineChildren(outer.Cost, inner.Cost)
 				for _, op := range plan.JoinOps(outer, inner) {
 					// Evaluate the candidate's cost first; only plans
 					// passing the α-admission test are materialized.
-					vec := m.JoinCost(op, outer, inner, card)
+					vec := ev.OpCost(op, base)
 					if !bucket.Admits(vec, op.Output(), alpha) {
 						continue
 					}
@@ -54,8 +59,13 @@ func approximateFrontiers(m *costmodel.Model, p *plan.Plan, pc *cache.Cache, alp
 			}
 		}
 	} else {
+		bucket := pc.BucketFor(p)
 		for _, op := range plan.AllScanOps() {
-			pc.Insert(m.NewScan(p.Table, op), alpha)
+			// As with joins: cost first, materialize only on admission.
+			if !bucket.Admits(m.ScanCost(p.Table, op), op.Output(), alpha) {
+				continue
+			}
+			bucket.Insert(m.NewScan(p.Table, op), alpha)
 		}
 	}
 }

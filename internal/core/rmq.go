@@ -86,7 +86,7 @@ func (r *RMQ) Init(p *opt.Problem, seed uint64) {
 	climbCfg := r.cfg.Climb
 	climbCfg.Space = r.cfg.Space
 	r.climber = NewClimber(p.Model, climbCfg)
-	r.cache = cache.New()
+	r.cache = cache.New(p.Model.Interner())
 	r.archive.Reset()
 	r.iter = 0
 	r.stats = Stats{}
@@ -125,7 +125,7 @@ func (r *RMQ) Step() bool {
 		// partial plans are shared across iterations, but keep the
 		// full-query admission identical (same α into the persistent
 		// root bucket) so only the sharing effect is isolated.
-		private := cache.New()
+		private := cache.New(m.Interner())
 		approximateFrontiers(m, optPlan, private, alpha)
 		for _, fp := range private.Get(r.problem.Query) {
 			r.cache.Insert(fp, alpha)

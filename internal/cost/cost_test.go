@@ -237,3 +237,31 @@ func BenchmarkStrictlyDominates(b *testing.B) {
 		_ = x.StrictlyDominates(y)
 	}
 }
+
+// TestComparisonsAllocFree asserts the dominance relations of the inner
+// loops allocate nothing: cost vectors are fixed-size value types and
+// every comparison must stay on the stack.
+func TestComparisonsAllocFree(t *testing.T) {
+	a := New(1, 5, 3)
+	b := New(2, 4, 3)
+	allocs := testing.AllocsPerRun(200, func() {
+		if a.Dominates(b) || b.Dominates(a) {
+			t.Fatal("incomparable vectors dominated")
+		}
+		if a.StrictlyDominates(b) || b.StrictlyDominates(a) {
+			t.Fatal("incomparable vectors strictly dominated")
+		}
+		if !a.ApproxDominates(b, 2) {
+			t.Fatal("approx dominance lost")
+		}
+		if a.DominationFactor(b) <= 1 {
+			t.Fatal("domination factor lost")
+		}
+		if !a.Equal(a) {
+			t.Fatal("equality lost")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("cost comparisons allocate: %v allocs/run, want 0", allocs)
+	}
+}

@@ -93,6 +93,12 @@ type raw struct {
 type Model struct {
 	est     *catalog.Estimator
 	metrics []Metric
+	in      *tableset.Interner
+	// ti, bi and di are the vector component indices of the Time, Buffer
+	// and Disc metrics under the projection (-1 when the metric is not
+	// selected); the hot evaluation paths branch on them instead of
+	// looping over the metric subset.
+	ti, bi, di int8
 }
 
 // New builds a model over the catalog with the given metric subset (the
@@ -102,8 +108,36 @@ func New(cat *catalog.Catalog, metrics []Metric) *Model {
 		panic("costmodel: need at least one metric")
 	}
 	ms := append([]Metric(nil), metrics...)
-	return &Model{est: catalog.NewEstimator(cat), metrics: ms}
+	m := &Model{
+		est:     catalog.NewEstimator(cat),
+		metrics: ms,
+		in:      tableset.NewInterner(),
+		ti:      -1,
+		bi:      -1,
+		di:      -1,
+	}
+	for i, mt := range ms {
+		switch mt {
+		case Time:
+			m.ti = int8(i)
+		case Buffer:
+			m.bi = int8(i)
+		case Disc:
+			m.di = int8(i)
+		}
+	}
+	return m
 }
+
+// Interner returns the model's table-set interner. Every plan node the
+// model constructs carries the interned id of its table set (plan.RelID);
+// the plan cache indexes its buckets by these ids, so it must be built
+// over the same interner (see cache.New).
+func (m *Model) Interner() *tableset.Interner { return m.in }
+
+// RelID interns the table set, returning its dense id (tableset.NoID once
+// the interner is full).
+func (m *Model) RelID(rel tableset.Set) tableset.ID { return m.in.Intern(rel) }
 
 // Catalog returns the model's catalog.
 func (m *Model) Catalog() *catalog.Catalog { return m.est.Catalog() }
@@ -169,39 +203,63 @@ func (m *Model) scanRaw(t int, op plan.ScanOp) raw {
 	}
 }
 
-// joinRaw returns the raw cost of the join operator itself, given outer
-// and inner input page counts and the output page count.
-func joinRaw(op plan.JoinOp, po, pi, pout float64) raw {
-	var r raw
-	switch alg := op.Alg(); alg {
+// algRaw returns the raw cost of the join algorithm itself (pipelining
+// variant), given outer and inner input page counts. It is the single
+// source of the operator cost formulas; joinRaw and the hoisted
+// evaluator table (PrepareJoin) both build on it.
+func algRaw(alg plan.JoinAlg, po, pi float64) raw {
+	switch alg {
 	case plan.BNL10, plan.BNL100, plan.BNL1000:
 		b := alg.BufferBudget()
-		r = raw{time: po + math.Max(1, po/b)*pi, buffer: b}
+		return raw{time: po + math.Max(1, po/b)*pi, buffer: b}
 	case plan.Hash:
-		r = raw{time: 1.2 * (po + pi), buffer: 1.2*pi + 4}
+		return raw{time: 1.2 * (po + pi), buffer: 1.2*pi + 4}
 	case plan.GraceHash:
-		r = raw{time: 3 * (po + pi), buffer: math.Sqrt(pi) + 4, disc: po + pi}
+		return raw{time: 3 * (po + pi), buffer: math.Sqrt(pi) + 4, disc: po + pi}
 	case plan.SortMerge:
-		r = raw{
+		return raw{
 			time:   (po + pi) * (1 + math.Log2(1+po+pi)/4),
 			buffer: 64,
 			disc:   po + pi,
 		}
 	default:
-		panic(fmt.Sprintf("costmodel: unknown join alg %v", op.Alg()))
+		panic(fmt.Sprintf("costmodel: unknown join alg %v", alg))
 	}
+}
+
+// materialized adds the cost of writing the operator's output (pout
+// pages) to a temp so downstream operators can rescan it.
+func (r raw) materialized(pout float64) raw {
+	r.time += pout
+	r.disc += pout
+	return r
+}
+
+// joinRaw returns the raw cost of the join operator itself, given outer
+// and inner input page counts and the output page count.
+func joinRaw(op plan.JoinOp, po, pi, pout float64) raw {
+	r := algRaw(op.Alg(), po, pi)
 	if op.Materializes() {
-		r.time += pout
-		r.disc += pout
+		r = r.materialized(pout)
 	}
 	return r
 }
 
 // NewScan builds the plan ScanPlan(t, op) with its cost vector.
 func (m *Model) NewScan(t int, op plan.ScanOp) *plan.Plan {
+	n := new(plan.Plan)
+	m.InitScan(n, t, op)
+	return n
+}
+
+// InitScan fills the caller-allocated node n with ScanPlan(t, op).
+// Generators that produce whole plan trees at once use it to build into
+// a single block allocation instead of one per node.
+func (m *Model) InitScan(n *plan.Plan, t int, op plan.ScanOp) {
 	rel := tableset.Single(t)
-	return &plan.Plan{
+	*n = plan.Plan{
 		Rel:    rel,
+		RelID:  m.in.Intern(rel),
 		Cost:   m.project(m.scanRaw(t, op)),
 		Card:   m.Catalog().Table(t).Rows,
 		Output: op.Output(),
@@ -210,24 +268,43 @@ func (m *Model) NewScan(t int, op plan.ScanOp) *plan.Plan {
 	}
 }
 
+// ScanCost returns the cost vector that ScanPlan(t, op) would have,
+// without allocating the plan node. The climbing hot path uses it to
+// evaluate scan alternatives and materializes only improvements.
+func (m *Model) ScanCost(t int, op plan.ScanOp) cost.Vector {
+	return m.project(m.scanRaw(t, op))
+}
+
+// Card returns the estimated cardinality of joining the table set,
+// memoized under its interned id.
+func (m *Model) Card(rel tableset.Set) float64 {
+	return m.est.CardID(m.in.Intern(rel), rel)
+}
+
 // JoinCard returns the estimated output cardinality of joining the two
 // plans' table sets.
 func (m *Model) JoinCard(outer, inner *plan.Plan) float64 {
 	return m.est.Card(outer.Rel.Union(inner.Rel))
 }
 
+// CardDirect computes the cardinality of joining the table set without
+// touching any memo (same values as Card); see catalog.CardDirect.
+func (m *Model) CardDirect(rel tableset.Set) float64 {
+	return m.est.CardDirect(rel)
+}
+
 // JoinCost returns the cost vector that JoinPlan(outer, inner, op) would
 // have, given the join's output cardinality (from JoinCard), without
 // allocating the plan node. Hot loops use it to discard dominated
-// candidates before construction.
+// candidates before construction. Loops evaluating several operators over
+// the same input pair should hoist the shared work with PrepareJoin
+// instead (see eval.go).
 func (m *Model) JoinCost(op plan.JoinOp, outer, inner *plan.Plan, card float64) cost.Vector {
 	return m.JoinCostParts(op, outer.Cost, outer.Card, inner.Cost, inner.Card, card)
 }
 
 // JoinCostParts is JoinCost on decomposed inputs: it evaluates a join
 // whose operands are known only by cost vector and output cardinality.
-// The climbing fast path uses it to evaluate two-level plan fragments
-// (structural mutations) without materializing the intermediate node.
 func (m *Model) JoinCostParts(op plan.JoinOp, outerCost cost.Vector, outerCard float64, innerCost cost.Vector, innerCard float64, outCard float64) cost.Vector {
 	op2 := joinRaw(op, pages(outerCard), pages(innerCard), pages(outCard))
 	return m.combine(outerCost, innerCost, op2)
@@ -247,8 +324,18 @@ func (m *Model) NewJoin(op plan.JoinOp, outer, inner *plan.Plan) *plan.Plan {
 // operators over the same table set pass the cardinality through to skip
 // repeated estimator lookups.
 func (m *Model) NewJoinWithCard(op plan.JoinOp, outer, inner *plan.Plan, card float64) *plan.Plan {
-	return &plan.Plan{
-		Rel:    outer.Rel.Union(inner.Rel),
+	n := new(plan.Plan)
+	m.InitJoinWithCard(n, op, outer, inner, card)
+	return n
+}
+
+// InitJoinWithCard fills the caller-allocated node n with
+// JoinPlan(outer, inner, op); see InitScan.
+func (m *Model) InitJoinWithCard(n *plan.Plan, op plan.JoinOp, outer, inner *plan.Plan, card float64) {
+	rel := outer.Rel.Union(inner.Rel)
+	*n = plan.Plan{
+		Rel:    rel,
+		RelID:  m.in.Intern(rel),
 		Cost:   m.JoinCost(op, outer, inner, card),
 		Card:   card,
 		Output: op.Output(),

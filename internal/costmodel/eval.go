@@ -1,0 +1,146 @@
+package costmodel
+
+import (
+	"rmq/internal/cost"
+	"rmq/internal/plan"
+)
+
+// This file implements the hoisted join cost evaluation used by the
+// climbing and frontier-approximation hot paths. Evaluating one join
+// operator costs a handful of float operations, but the naive per-call
+// path (JoinCostParts) recomputes page counts, logarithms and square
+// roots for every operator even though they depend only on the input
+// cardinalities. PrepareJoin performs that work once per input pair; the
+// resulting JoinEval then prices each of the NumJoinOps operators with a
+// table lookup plus the per-metric composition. Loops over operator sets
+// (a dozen operators per join node) get most of their arithmetic hoisted.
+//
+// The arithmetic is kept bit-for-bit identical to JoinCostParts: the same
+// expressions in the same evaluation order (a test cross-checks every
+// operator on random inputs).
+
+// JoinEval holds the operator-independent part of costing all join
+// operators over one (outer cardinality, inner cardinality, output
+// cardinality) triple: the complete raw cost of every concrete operator
+// (materialization adjustment included) plus the model's metric indices.
+// The zero value is not usable; fill one with PrepareJoin. JoinEvals live
+// on the caller's stack and are reused across the operator loop.
+type JoinEval struct {
+	// rawsByOp is indexed by plan.JoinOp; padded to a power of two so
+	// the pricing hot path can mask the index instead of bounds-checking
+	// (which also keeps OpCost within the inlining budget).
+	rawsByOp   [16]raw
+	ti, bi, di int32
+}
+
+// PrepareJoin fills e with the per-operator raw costs of joining inputs
+// with the given cardinalities into an output of outCard rows. e is an
+// out parameter (rather than a by-value result) so the prepared table is
+// written in place into the caller's frame.
+func (m *Model) PrepareJoin(e *JoinEval, outerCard, innerCard, outCard float64) {
+	po, pi, pout := pages(outerCard), pages(innerCard), pages(outCard)
+	e.ti, e.bi, e.di = int32(m.ti), int32(m.bi), int32(m.di)
+	for alg := plan.JoinAlg(0); alg < plan.NumJoinAlgs; alg++ {
+		r := algRaw(alg, po, pi)
+		e.rawsByOp[plan.MakeJoinOp(alg, false)] = r
+		e.rawsByOp[plan.MakeJoinOp(alg, true)] = r.materialized(pout)
+	}
+}
+
+// CombineChildren merges two children cost vectors under the per-metric
+// composition rules (time/disc additive, buffer max), without the
+// operator's own cost. The result is the operator-independent base that
+// OpCost completes; it is symmetric in its arguments.
+//
+// Additive metrics saturate here as everywhere (sat(sat(a+b)+t) equals
+// sat(a+b+t) for non-negative inputs, so this changes no final cost),
+// which also makes the result a valid lower bound on any operator's
+// complete cost — the climbing move search prunes candidate groups on
+// exactly that property.
+func (m *Model) CombineChildren(a, b cost.Vector) cost.Vector {
+	// min(x, Saturation) is cost.Sat for the non-NaN inputs of this
+	// domain; the builtin keeps the function within the inlining budget.
+	if i := m.ti; i >= 0 {
+		a.V[i] = min(a.V[i]+b.V[i], cost.Saturation)
+	}
+	if i := m.bi; i >= 0 {
+		a.V[i] = max(a.V[i], b.V[i])
+	}
+	if i := m.di; i >= 0 {
+		a.V[i] = min(a.V[i]+b.V[i], cost.Saturation)
+	}
+	return a
+}
+
+// OpCost returns the complete plan cost of applying op over the prepared
+// input pair, where base is the children combination from
+// CombineChildren. It equals JoinCostParts on the same inputs. It is
+// small enough to inline into the operator loops.
+func (e *JoinEval) OpCost(op plan.JoinOp, base cost.Vector) cost.Vector {
+	r := &e.rawsByOp[op&15]
+	if i := e.ti; i >= 0 {
+		base.V[i] = min(base.V[i]+r.time, cost.Saturation)
+	}
+	if i := e.bi; i >= 0 {
+		base.V[i] = max(base.V[i], r.buffer)
+	}
+	if i := e.di; i >= 0 {
+		base.V[i] = min(base.V[i]+r.disc, cost.Saturation)
+	}
+	return base
+}
+
+// OpCostAll prices every operator of ops over base into out (one slot
+// per ops index; len(ops) ≤ 16). Batching the loop into one call keeps
+// the per-operator work free of call overhead regardless of inlining
+// decisions at the call site.
+func (e *JoinEval) OpCostAll(ops []plan.JoinOp, base cost.Vector, out *[16]cost.Vector) {
+	ti, bi, di := e.ti, e.bi, e.di
+	for k, op := range ops {
+		r := &e.rawsByOp[op&15]
+		v := base
+		if ti >= 0 {
+			v.V[ti] = min(v.V[ti]+r.time, cost.Saturation)
+		}
+		if bi >= 0 {
+			v.V[bi] = max(v.V[bi], r.buffer)
+		}
+		if di >= 0 {
+			v.V[di] = min(v.V[di]+r.disc, cost.Saturation)
+		}
+		out[k] = v
+	}
+}
+
+// OpEval prices one fixed join operator over varying child-combination
+// bases. Loops that evaluate many candidate pairs under the same (few)
+// root operators — the structural climbing rules price up to twelve
+// child operators under at most two distinct root operators — prepare
+// one OpEval per root operator instead of a full JoinEval.
+type OpEval struct {
+	r          raw
+	ti, bi, di int32
+}
+
+// PrepareOp precomputes the raw cost of applying exactly op to inputs
+// with the given cardinalities.
+func (m *Model) PrepareOp(e *OpEval, op plan.JoinOp, outerCard, innerCard, outCard float64) {
+	e.r = joinRaw(op, pages(outerCard), pages(innerCard), pages(outCard))
+	e.ti, e.bi, e.di = int32(m.ti), int32(m.bi), int32(m.di)
+}
+
+// Cost completes the prepared operator cost over base (the children
+// combination from CombineChildren); it equals JoinCostParts of the
+// prepared operator and inputs. Small enough to inline.
+func (e *OpEval) Cost(base cost.Vector) cost.Vector {
+	if i := e.ti; i >= 0 {
+		base.V[i] = min(base.V[i]+e.r.time, cost.Saturation)
+	}
+	if i := e.bi; i >= 0 {
+		base.V[i] = max(base.V[i], e.r.buffer)
+	}
+	if i := e.di; i >= 0 {
+		base.V[i] = min(base.V[i]+e.r.disc, cost.Saturation)
+	}
+	return base
+}

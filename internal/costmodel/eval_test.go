@@ -1,0 +1,137 @@
+package costmodel
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"rmq/internal/catalog"
+	"rmq/internal/cost"
+	"rmq/internal/plan"
+)
+
+// metricSubsets enumerates every non-empty metric subset, so the
+// reduced-dimension paths (ti/bi/di = -1) are all exercised.
+func metricSubsets() [][]Metric {
+	return [][]Metric{
+		{Time}, {Buffer}, {Disc},
+		{Time, Buffer}, {Time, Disc}, {Buffer, Disc},
+		{Time, Buffer, Disc},
+	}
+}
+
+func randVec(rng *rand.Rand, dim int) cost.Vector {
+	vals := make([]float64, dim)
+	for i := range vals {
+		vals[i] = math.Exp(rng.Float64()*40 - 5)
+	}
+	return cost.New(vals...)
+}
+
+// TestEvalMatchesJoinCostParts is the bit-for-bit cross-check promised
+// by eval.go: for every metric subset, every concrete operator and
+// random inputs (including saturating magnitudes), JoinEval.OpCost,
+// OpCostAll and OpEval.Cost must agree exactly with JoinCostParts.
+func TestEvalMatchesJoinCostParts(t *testing.T) {
+	rng0 := rand.New(rand.NewPCG(1, 1))
+	cat := catalog.Generate(catalog.GenSpec{Tables: 6, Graph: catalog.Chain, Selectivity: catalog.Steinbrunn}, rng0)
+	for _, metrics := range metricSubsets() {
+		m := New(cat, metrics)
+		rng := rand.New(rand.NewPCG(2, uint64(len(metrics))))
+		var ev JoinEval
+		var out [16]cost.Vector
+		for trial := 0; trial < 500; trial++ {
+			oc := randVec(rng, len(metrics))
+			ic := randVec(rng, len(metrics))
+			ocard := math.Exp(rng.Float64() * 500) // up to ~1e217 rows
+			icard := math.Exp(rng.Float64() * 500)
+			outCard := math.Exp(rng.Float64() * 575)
+			m.PrepareJoin(&ev, ocard, icard, outCard)
+			base := m.CombineChildren(oc, ic)
+			ops := make([]plan.JoinOp, 0, plan.NumJoinOps)
+			for op := plan.JoinOp(0); op < plan.NumJoinOps; op++ {
+				ops = append(ops, op)
+			}
+			ev.OpCostAll(ops, base, &out)
+			for _, op := range ops {
+				want := m.JoinCostParts(op, oc, ocard, ic, icard, outCard)
+				if got := ev.OpCost(op, base); !got.Equal(want) {
+					t.Fatalf("metrics %v op %v: OpCost %v, JoinCostParts %v", metrics, op, got, want)
+				}
+				if got := out[op]; !got.Equal(want) {
+					t.Fatalf("metrics %v op %v: OpCostAll %v, JoinCostParts %v", metrics, op, got, want)
+				}
+				var oe OpEval
+				m.PrepareOp(&oe, op, ocard, icard, outCard)
+				if got := oe.Cost(base); !got.Equal(want) {
+					t.Fatalf("metrics %v op %v: OpEval.Cost %v, JoinCostParts %v", metrics, op, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestCombineChildrenIsOperatorFloor checks the property the climbing
+// move search prunes on: the children combination weakly dominates
+// every operator's complete cost, i.e. CombineChildren(a, b) ⪯
+// OpCost(op, CombineChildren(a, b)) for all inputs, including the
+// saturated regime.
+func TestCombineChildrenIsOperatorFloor(t *testing.T) {
+	rng0 := rand.New(rand.NewPCG(3, 3))
+	cat := catalog.Generate(catalog.GenSpec{Tables: 6, Graph: catalog.Star, Selectivity: catalog.Steinbrunn}, rng0)
+	for _, metrics := range metricSubsets() {
+		m := New(cat, metrics)
+		rng := rand.New(rand.NewPCG(4, uint64(len(metrics))))
+		var ev JoinEval
+		for trial := 0; trial < 300; trial++ {
+			a := randVec(rng, len(metrics))
+			b := randVec(rng, len(metrics))
+			m.PrepareJoin(&ev, math.Exp(rng.Float64()*560), math.Exp(rng.Float64()*560), math.Exp(rng.Float64()*575))
+			base := m.CombineChildren(a, b)
+			for op := plan.JoinOp(0); op < plan.NumJoinOps; op++ {
+				if got := ev.OpCost(op, base); !base.Dominates(got) {
+					t.Fatalf("metrics %v op %v: floor %v does not dominate cost %v", metrics, op, base, got)
+				}
+			}
+		}
+	}
+}
+
+// TestCombineChildrenSymmetric: the children combination must not
+// depend on argument order (the move search relies on this when pricing
+// commuted pairs against one base).
+func TestCombineChildrenSymmetric(t *testing.T) {
+	rng0 := rand.New(rand.NewPCG(5, 5))
+	cat := catalog.Generate(catalog.GenSpec{Tables: 4, Graph: catalog.Chain, Selectivity: catalog.Steinbrunn}, rng0)
+	m := New(cat, AllMetrics())
+	rng := rand.New(rand.NewPCG(6, 6))
+	for trial := 0; trial < 200; trial++ {
+		a := randVec(rng, 3)
+		b := randVec(rng, 3)
+		if !m.CombineChildren(a, b).Equal(m.CombineChildren(b, a)) {
+			t.Fatalf("CombineChildren not symmetric for %v, %v", a, b)
+		}
+	}
+}
+
+func TestEvalAllocFree(t *testing.T) {
+	rng0 := rand.New(rand.NewPCG(7, 7))
+	cat := catalog.Generate(catalog.GenSpec{Tables: 4, Graph: catalog.Chain, Selectivity: catalog.Steinbrunn}, rng0)
+	m := New(cat, AllMetrics())
+	var ev JoinEval
+	var oe OpEval
+	var out [16]cost.Vector
+	base := cost.New(10, 20, 30)
+	ops := plan.JoinOpsFor(plan.Materialized)
+	allocs := testing.AllocsPerRun(200, func() {
+		m.PrepareJoin(&ev, 1e6, 1e5, 1e7)
+		ev.OpCostAll(ops, base, &out)
+		m.PrepareOp(&oe, ops[0], 1e6, 1e5, 1e7)
+		if oe.Cost(base).Dim() != 3 || ev.OpCost(ops[1], base).Dim() != 3 {
+			t.Fatal("lost dimensions")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("evaluator hot path allocates: %v allocs/run, want 0", allocs)
+	}
+}

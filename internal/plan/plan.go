@@ -232,6 +232,12 @@ func JoinOpsFor(inner OutputProp) []JoinOp { return joinOpsByInner[inner] }
 type Plan struct {
 	// Rel is the set of tables joined by the plan (p.rel).
 	Rel tableset.Set
+	// RelID is the interned id of Rel under the constructing cost model's
+	// interner (see costmodel.Model.Interner). The plan cache indexes its
+	// buckets by it, avoiding a hash of Rel on every probe. It is
+	// tableset.NoID on hand-built plans, which fall back to Set-keyed
+	// paths.
+	RelID tableset.ID
 	// Cost is the plan's cost vector under the run's cost model.
 	Cost cost.Vector
 	// Card is the estimated output cardinality in rows.
@@ -247,6 +253,12 @@ type Plan struct {
 	Join  JoinOp
 	Outer *Plan
 	Inner *Plan
+
+	// Aux is scratch bookkeeping space for optimizers operating on
+	// mutable Scratch-owned nodes (the climbing hot path marks
+	// known-unimprovable subtrees here). It has no defined meaning on
+	// immutable plans: Scratch.Import and Scratch.Freeze both reset it.
+	Aux uint8
 }
 
 // IsJoin reports whether the plan is a join plan (p.isJoin); scan plans

@@ -1,0 +1,99 @@
+package plan
+
+// Scratch is an arena of mutable plan nodes for local-search hot loops.
+//
+// Plans are normally immutable and shared freely (the plan cache aliases
+// sub-plans across plans), which forces transformations to rebuild nodes
+// — per-move garbage that dominates the climbing inner loop. A Scratch
+// gives an optimizer a private mutable copy instead: Import clones a plan
+// into arena-backed nodes that the owner may mutate in place (see
+// mutate.Apply), and Freeze clones the final result back out into fresh
+// immutable nodes before it is archived or returned (copy-on-archive).
+// Arena nodes are recycled wholesale by Reset, so a warmed-up
+// Import→mutate→Reset cycle allocates nothing.
+//
+// Scratch-owned trees are strict trees (Import duplicates shared
+// sub-plans), so in-place transformations may recycle nodes they detach
+// without scanning for other references.
+//
+// A Scratch is not safe for concurrent use; climbers each own one.
+type Scratch struct {
+	chunks [][]Plan
+	chunk  int // index of the chunk currently allocated from
+	used   int // nodes handed out from chunks[chunk]
+}
+
+// scratchChunk is the fixed node count per arena chunk. Chunks are never
+// reallocated (only new ones appended), so node pointers stay valid for
+// the lifetime of the Scratch.
+const scratchChunk = 128
+
+// NewScratch returns an empty arena.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// Reset recycles every node handed out since the last Reset. All nodes
+// previously returned by Alloc or Import become invalid for the owner —
+// which is the point: plans that must outlive a Reset are Frozen first.
+func (s *Scratch) Reset() {
+	s.chunk = 0
+	s.used = 0
+}
+
+// next returns the next arena node without zeroing it; callers overwrite
+// every field.
+func (s *Scratch) next() *Plan {
+	if s.used >= scratchChunk {
+		s.chunk++
+		s.used = 0
+	}
+	if s.chunk >= len(s.chunks) {
+		s.chunks = append(s.chunks, make([]Plan, scratchChunk))
+	}
+	n := &s.chunks[s.chunk][s.used]
+	s.used++
+	return n
+}
+
+// Alloc returns a zeroed mutable node from the arena.
+func (s *Scratch) Alloc() *Plan {
+	n := s.next()
+	*n = Plan{}
+	return n
+}
+
+// Import deep-copies p into arena-owned mutable nodes and returns the
+// copy's root. Shared sub-plans are duplicated, so the result is a strict
+// tree. Aux is cleared on every node.
+func (s *Scratch) Import(p *Plan) *Plan {
+	n := s.next()
+	*n = *p
+	n.Aux = 0
+	if p.IsJoin() {
+		n.Outer = s.Import(p.Outer)
+		n.Inner = s.Import(p.Inner)
+	}
+	return n
+}
+
+// Freeze deep-copies the (possibly mutated) arena tree rooted at p into
+// fresh immutable nodes that survive Reset — the copy-on-archive step
+// that keeps archived plans immutable while climbing mutates in place.
+// The whole tree is allocated as one block (its size is known from Rel).
+func (s *Scratch) Freeze(p *Plan) *Plan {
+	n := 2*p.Rel.Count() - 1
+	nodes := make([]Plan, n)
+	next := 0
+	var clone func(q *Plan) *Plan
+	clone = func(q *Plan) *Plan {
+		out := &nodes[next]
+		next++
+		*out = *q
+		out.Aux = 0
+		if q.IsJoin() {
+			out.Outer = clone(q.Outer)
+			out.Inner = clone(q.Inner)
+		}
+		return out
+	}
+	return clone(p)
+}

@@ -1,0 +1,126 @@
+package plan
+
+import (
+	"testing"
+
+	"rmq/internal/cost"
+	"rmq/internal/tableset"
+)
+
+// scratchTestPlan hand-builds (t0 ⋈ t1) ⋈ t2 without a cost model.
+func scratchTestPlan() *Plan {
+	s0 := &Plan{Rel: tableset.Single(0), Cost: cost.New(1, 1), Card: 10, Output: Materialized, Table: 0, Scan: SeqScan}
+	s1 := &Plan{Rel: tableset.Single(1), Cost: cost.New(2, 2), Card: 20, Output: Materialized, Table: 1, Scan: PinScan}
+	s2 := &Plan{Rel: tableset.Single(2), Cost: cost.New(3, 3), Card: 30, Output: Materialized, Table: 2, Scan: SeqScan}
+	j01 := &Plan{
+		Rel: s0.Rel.Union(s1.Rel), Cost: cost.New(5, 5), Card: 200,
+		Output: Materialized, Join: MakeJoinOp(Hash, true), Outer: s0, Inner: s1,
+	}
+	return &Plan{
+		Rel: j01.Rel.Union(s2.Rel), Cost: cost.New(9, 9), Card: 6000,
+		Output: Pipelined, Join: MakeJoinOp(Hash, false), Outer: j01, Inner: s2,
+	}
+}
+
+func samePlanTree(a, b *Plan) bool {
+	if a.Rel != b.Rel || !a.Cost.Equal(b.Cost) || a.Card != b.Card ||
+		a.Output != b.Output || a.IsJoin() != b.IsJoin() {
+		return false
+	}
+	if !a.IsJoin() {
+		return a.Table == b.Table && a.Scan == b.Scan
+	}
+	return a.Join == b.Join && samePlanTree(a.Outer, b.Outer) && samePlanTree(a.Inner, b.Inner)
+}
+
+func TestScratchImportCopiesTree(t *testing.T) {
+	s := NewScratch()
+	orig := scratchTestPlan()
+	cp := s.Import(orig)
+	if cp == orig {
+		t.Fatal("Import returned the original")
+	}
+	if !samePlanTree(orig, cp) {
+		t.Fatal("Import changed the tree")
+	}
+	// Mutating the copy must not touch the original.
+	cp.Outer.Join = MakeJoinOp(SortMerge, true)
+	cp.Outer.Cost = cost.New(99, 99)
+	if orig.Outer.Join != MakeJoinOp(Hash, true) || !orig.Outer.Cost.Equal(cost.New(5, 5)) {
+		t.Fatal("mutating the scratch copy leaked into the original")
+	}
+}
+
+func TestScratchFreezeSurvivesReset(t *testing.T) {
+	s := NewScratch()
+	cp := s.Import(scratchTestPlan())
+	frozen := s.Freeze(cp)
+	if !samePlanTree(cp, frozen) {
+		t.Fatal("Freeze changed the tree")
+	}
+	want := frozen.Cost
+	s.Reset()
+	// Reuse the arena for an unrelated tree; the frozen plan must be
+	// unaffected.
+	other := s.Import(scratchTestPlan())
+	other.Cost = cost.New(123, 123)
+	other.Outer.Table = 42
+	if !frozen.Cost.Equal(want) || frozen.Outer.Outer.Table != 0 {
+		t.Fatal("Reset/reuse corrupted a frozen plan")
+	}
+	if !samePlanTree(frozen, scratchTestPlan()) {
+		t.Fatal("frozen plan no longer matches the original")
+	}
+}
+
+func TestScratchImportDuplicatesSharedSubplans(t *testing.T) {
+	s := NewScratch()
+	leaf := &Plan{Rel: tableset.Single(0), Cost: cost.New(1), Card: 1, Output: Materialized}
+	leaf2 := &Plan{Rel: tableset.Single(1), Cost: cost.New(1), Card: 1, Output: Materialized, Table: 1}
+	shared := &Plan{
+		Rel: leaf.Rel.Union(leaf2.Rel), Cost: cost.New(2), Card: 1,
+		Output: Materialized, Join: MakeJoinOp(Hash, true), Outer: leaf, Inner: leaf2,
+	}
+	leaf3 := &Plan{Rel: tableset.Single(2), Cost: cost.New(1), Card: 1, Output: Materialized, Table: 2}
+	root := &Plan{
+		Rel: shared.Rel.Union(leaf3.Rel), Cost: cost.New(3), Card: 1,
+		Output: Pipelined, Join: MakeJoinOp(Hash, false), Outer: shared, Inner: leaf3,
+	}
+	cp := s.Import(root)
+	if cp.Outer == root.Outer {
+		t.Fatal("Import aliased a sub-plan of the original")
+	}
+}
+
+func TestScratchSteadyStateAllocFree(t *testing.T) {
+	s := NewScratch()
+	p := scratchTestPlan()
+	// Warm the arena.
+	s.Import(p)
+	s.Reset()
+	allocs := testing.AllocsPerRun(200, func() {
+		s.Reset()
+		if s.Import(p) == nil {
+			t.Fatal("nil import")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warmed Import allocates: %v allocs/run", allocs)
+	}
+}
+
+func TestScratchAllocCrossesChunks(t *testing.T) {
+	s := NewScratch()
+	seen := map[*Plan]bool{}
+	for i := 0; i < 3*scratchChunk+5; i++ {
+		n := s.Alloc()
+		if seen[n] {
+			t.Fatal("Alloc returned a live node twice")
+		}
+		seen[n] = true
+	}
+	s.Reset()
+	if n := s.Alloc(); !seen[n] {
+		t.Fatal("Reset did not recycle arena nodes")
+	}
+}

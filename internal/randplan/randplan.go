@@ -25,9 +25,11 @@ type shapeNode struct {
 }
 
 // randomShape returns a uniformly random binary tree with n leaves
-// (n ≥ 1) together with the total node count.
+// (n ≥ 1). All 2n-1 shape nodes come from a single block allocation.
 func randomShape(n int, rng *rand.Rand) *shapeNode {
-	root := &shapeNode{}
+	pool := make([]shapeNode, 2*n-1)
+	alloc := 1 // pool[0] is the root
+	root := &pool[0]
 	// nodes holds every node created so far (leaves and internal).
 	nodes := make([]*shapeNode, 1, 2*n-1)
 	nodes[0] = root
@@ -36,8 +38,10 @@ func randomShape(n int, rng *rand.Rand) *shapeNode {
 		// node in its place, with the picked node on a random side and a
 		// fresh leaf on the other.
 		x := nodes[rng.IntN(len(nodes))]
-		oldCopy := &shapeNode{children: x.children}
-		leaf := &shapeNode{}
+		oldCopy := &pool[alloc]
+		leaf := &pool[alloc+1]
+		alloc += 2
+		oldCopy.children = x.children
 		if rng.IntN(2) == 0 {
 			x.children = [2]*shapeNode{oldCopy, leaf}
 		} else {
@@ -50,7 +54,8 @@ func randomShape(n int, rng *rand.Rand) *shapeNode {
 
 // Random returns a uniformly random bushy plan joining the given table
 // set under the model: uniform tree shape, uniform leaf labeling, uniform
-// applicable operators. It panics on an empty table set.
+// applicable operators. It panics on an empty table set. The plan's 2n-1
+// nodes come from a single block allocation.
 func Random(m *costmodel.Model, tables tableset.Set, rng *rand.Rand) *plan.Plan {
 	ids := tables.Tables()
 	if len(ids) == 0 {
@@ -58,18 +63,24 @@ func Random(m *costmodel.Model, tables tableset.Set, rng *rand.Rand) *plan.Plan 
 	}
 	rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
 	shape := randomShape(len(ids), rng)
+	nodes := make([]plan.Plan, 2*len(ids)-1)
+	alloc := 0
 	next := 0
 	var build func(s *shapeNode) *plan.Plan
 	build = func(s *shapeNode) *plan.Plan {
+		n := &nodes[alloc]
+		alloc++
 		if s.children[0] == nil {
 			t := ids[next]
 			next++
-			return m.NewScan(t, RandomScanOp(rng))
+			m.InitScan(n, t, RandomScanOp(rng))
+			return n
 		}
 		outer := build(s.children[0])
 		inner := build(s.children[1])
 		ops := plan.JoinOpsFor(inner.Output)
-		return m.NewJoin(ops[rng.IntN(len(ops))], outer, inner)
+		m.InitJoinWithCard(n, ops[rng.IntN(len(ops))], outer, inner, m.JoinCard(outer, inner))
+		return n
 	}
 	return build(shape)
 }

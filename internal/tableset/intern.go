@@ -1,0 +1,68 @@
+package tableset
+
+// ID is the interned identifier of a Set. IDs are dense small integers
+// assigned in first-seen order, so subsystems that repeatedly look up the
+// same table sets (the plan cache, the cardinality memo) can replace hash
+// probes with array indexing. The zero value NoID means "not interned":
+// hand-built plans and sets beyond the interner capacity carry NoID and
+// callers fall back to Set-keyed paths.
+type ID int32
+
+// NoID is the invalid interned id (the zero value of ID).
+const NoID ID = 0
+
+// MaxInterned bounds the number of distinct sets an Interner assigns ids
+// to. The bound exists for the same reason as the cardinality memo cap:
+// very long optimizer runs encounter an unbounded stream of transient
+// table sets, and the dense side tables indexed by ID (cache buckets,
+// cardinality entries) must not grow without limit. Past the bound,
+// Intern returns NoID and callers use their Set-keyed fallback.
+const MaxInterned = 1 << 20
+
+// Interner assigns dense IDs to table sets. The zero Interner is not
+// usable; call NewInterner. An Interner is not safe for concurrent use;
+// it is owned by one optimizer run's cost model and shared with the
+// run's plan cache.
+type Interner struct {
+	ids  map[Set]ID
+	sets []Set // sets[id] is the set with that id; index 0 is unused
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{
+		ids:  make(map[Set]ID, 256),
+		sets: make([]Set, 1, 256),
+	}
+}
+
+// Intern returns the id of s, assigning the next dense id on first sight.
+// It returns NoID once MaxInterned distinct sets have been assigned.
+func (in *Interner) Intern(s Set) ID {
+	if id, ok := in.ids[s]; ok {
+		return id
+	}
+	if len(in.sets) > MaxInterned {
+		return NoID
+	}
+	id := ID(len(in.sets))
+	in.sets = append(in.sets, s)
+	in.ids[s] = id
+	return id
+}
+
+// Lookup returns the id of s if it was interned before, NoID otherwise.
+// It never assigns a new id.
+func (in *Interner) Lookup(s Set) ID { return in.ids[s] }
+
+// SetOf returns the set with the given id. It panics for NoID or ids
+// never assigned.
+func (in *Interner) SetOf(id ID) Set {
+	if id <= 0 || int(id) >= len(in.sets) {
+		panic("tableset: SetOf of unassigned id")
+	}
+	return in.sets[id]
+}
+
+// Len returns the number of interned sets.
+func (in *Interner) Len() int { return len(in.sets) - 1 }

@@ -1,0 +1,72 @@
+package tableset
+
+import "testing"
+
+func TestInternerAssignsDenseIDs(t *testing.T) {
+	in := NewInterner()
+	a := Single(3)
+	b := Range(5)
+	idA := in.Intern(a)
+	idB := in.Intern(b)
+	if idA == NoID || idB == NoID {
+		t.Fatal("Intern returned NoID for fresh sets")
+	}
+	if idA == idB {
+		t.Fatal("distinct sets share an id")
+	}
+	if got := in.Intern(a); got != idA {
+		t.Fatalf("re-interning a set changed its id: %d vs %d", got, idA)
+	}
+	if in.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", in.Len())
+	}
+	if in.SetOf(idA) != a || in.SetOf(idB) != b {
+		t.Fatal("SetOf does not round-trip")
+	}
+}
+
+func TestInternerLookupDoesNotAssign(t *testing.T) {
+	in := NewInterner()
+	if id := in.Lookup(Single(7)); id != NoID {
+		t.Fatalf("Lookup of unseen set = %d, want NoID", id)
+	}
+	if in.Len() != 0 {
+		t.Fatal("Lookup assigned an id")
+	}
+	want := in.Intern(Single(7))
+	if got := in.Lookup(Single(7)); got != want {
+		t.Fatalf("Lookup = %d, want %d", got, want)
+	}
+}
+
+func TestInternerZeroIDIsInvalid(t *testing.T) {
+	in := NewInterner()
+	if id := in.Intern(Empty()); id == NoID {
+		t.Fatal("even the empty set gets a real id")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetOf(NoID) did not panic")
+		}
+	}()
+	in.SetOf(NoID)
+}
+
+func TestInternerSteadyStateAllocFree(t *testing.T) {
+	in := NewInterner()
+	sets := make([]Set, 64)
+	for i := range sets {
+		sets[i] = Range(i + 1)
+		in.Intern(sets[i])
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, s := range sets {
+			if in.Intern(s) == NoID {
+				t.Fatal("lost an interned set")
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Intern allocates: %v allocs/run", allocs)
+	}
+}

@@ -124,6 +124,16 @@ func (s Set) SubsetOf(o Set) bool { return s.lo&^o.lo == 0 && s.hi&^o.hi == 0 }
 // IsEmpty reports whether the set has no tables.
 func (s Set) IsEmpty() bool { return s.lo == 0 && s.hi == 0 }
 
+// Hash64 returns a well-mixed 64-bit hash of the set, for callers
+// maintaining their own open-addressed tables keyed by sets.
+func (s Set) Hash64() uint64 {
+	h := s.lo*0x9e3779b97f4a7c15 ^ (s.hi*0xbf58476d1ce4e5b9 + 0x94d049bb133111eb)
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	return h
+}
+
 // Count returns the number of tables in the set.
 func (s Set) Count() int { return bits.OnesCount64(s.lo) + bits.OnesCount64(s.hi) }
 

@@ -5,12 +5,12 @@
 GO ?= go
 
 # Benchmarks gated by CI (must match .github/workflows/ci.yml).
-GATE_BENCH = BenchmarkClimb50$$|BenchmarkAblationClimb|BenchmarkRMQIteration50|BenchmarkJoinCost|BenchmarkNewJoin|BenchmarkStrictlyDominates|BenchmarkStepSteadyState
-GATE_PKGS  = ./internal/core ./internal/costmodel ./internal/cost
+GATE_BENCH = BenchmarkClimb50$$|BenchmarkAblationClimb|BenchmarkRMQIteration50|BenchmarkJoinCost|BenchmarkNewJoin|BenchmarkStrictlyDominates|BenchmarkStepSteadyState|BenchmarkApproxFrontiers|BenchmarkParallelScaling
+GATE_PKGS  = . ./internal/core ./internal/costmodel ./internal/cost
 BENCH_OUT ?= BENCH_$(shell date +%F).json
 THRESHOLD ?= 0.2
 
-.PHONY: build test race vet fmt lint bench bench-full bench-diff bench-baseline
+.PHONY: build test race vet fmt lint bench bench-full bench-diff bench-baseline profile
 
 build:
 	$(GO) build ./...
@@ -54,3 +54,16 @@ bench-baseline:
 	$(GO) run ./cmd/benchreport run -bench '$(GATE_BENCH)' \
 		-packages "$(GATE_PKGS)" -benchtime 1s -count 3 \
 		-label "CI regression gate baseline" -out bench/baseline.json
+
+## profile: CPU + allocation pprof over the full-iteration benchmark,
+## written under bench/profiles/ (gitignored), so perf PRs start from a
+## flame graph instead of guesswork. Inspect with
+## `go tool pprof -http=: bench/profiles/cpu.pprof` (or mem.pprof; the
+## test binary next to them resolves symbols).
+profile:
+	mkdir -p bench/profiles
+	$(GO) test -run '^$$' -bench BenchmarkRMQIteration50 -benchtime 2s \
+		-cpuprofile bench/profiles/cpu.pprof \
+		-memprofile bench/profiles/mem.pprof \
+		-o bench/profiles/core.test ./internal/core
+	@echo "profiles in bench/profiles/: cpu.pprof, mem.pprof"

@@ -203,6 +203,30 @@ func TestSessionConcurrentUse(t *testing.T) {
 	}
 }
 
+func TestMergeStrategiesProduceSameFrontier(t *testing.T) {
+	cat := rmq.GenerateCatalog(rmq.WorkloadSpec{Tables: 12, Graph: rmq.Star}, 8)
+	run := func(s rmq.MergeStrategy) *rmq.Frontier {
+		f, err := rmq.Optimize(context.Background(), cat,
+			rmq.WithMetrics(rmq.MetricTime, rmq.MetricBuffer),
+			rmq.WithParallelism(3),
+			rmq.WithMaxIterations(25),
+			rmq.WithSeed(4),
+			rmq.WithMergeStrategy(s),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	delta, full := run(rmq.MergeDelta), run(rmq.MergeFull)
+	if !slices.Equal(frontierCosts(delta), frontierCosts(full)) {
+		t.Error("delta and full merge strategies produced different frontiers")
+	}
+	if _, err := rmq.Optimize(context.Background(), cat, rmq.WithMergeStrategy(rmq.MergeStrategy(99))); err == nil {
+		t.Error("unknown merge strategy accepted")
+	}
+}
+
 func TestSessionRejectsBadDefaults(t *testing.T) {
 	cat := rmq.GenerateCatalog(rmq.WorkloadSpec{Tables: 4}, 1)
 	if _, err := rmq.NewSession(nil); err == nil {

@@ -25,6 +25,7 @@ import (
 	"os"
 	"testing"
 
+	"rmq"
 	"rmq/internal/baselines/weighted"
 	"rmq/internal/catalog"
 	"rmq/internal/core"
@@ -123,6 +124,51 @@ func BenchmarkFigure8(b *testing.B) {
 // BenchmarkFigure9 reproduces Figure 9: as Figure 8 with three metrics.
 func BenchmarkFigure9(b *testing.B) {
 	runFigure(b, harness.Figure9(harness.BenchTuning()), "fig9")
+}
+
+// BenchmarkParallelScaling measures multi-start throughput: one op is a
+// complete session run of a fixed total iteration budget split evenly
+// across the workers, so with perfect scaling the wall time per op (and
+// ns/op) drops linearly in the worker count and the reported iters/sec
+// throughput rises linearly. Workers merge through the delta strategy's
+// per-worker inbox shards, so the shared archive lock stays out of the
+// scaling path. On a single-CPU machine the variants coincide; the gate
+// only fails on regressions, so extra cores can only improve the
+// numbers.
+func BenchmarkParallelScaling(b *testing.B) {
+	cat := rmq.GenerateCatalog(rmq.WorkloadSpec{Tables: 20, Graph: rmq.Chain}, 1)
+	const totalIters = 240
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprint(workers), func(b *testing.B) {
+			sess, err := rmq.NewSession(cat,
+				rmq.WithMetrics(rmq.MetricTime, rmq.MetricBuffer))
+			if err != nil {
+				b.Fatal(err)
+			}
+			// One warm-up run fills the session's problem pool so the
+			// timed ops measure optimization, not catalog setup.
+			if _, err := sess.Optimize(context.Background(),
+				rmq.WithParallelism(workers), rmq.WithMaxIterations(2)); err != nil {
+				b.Fatal(err)
+			}
+			iters := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f, err := sess.Optimize(context.Background(),
+					rmq.WithParallelism(workers),
+					rmq.WithMaxIterations(totalIters/workers),
+					rmq.WithSeed(uint64(i)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				iters += f.Iterations
+			}
+			b.StopTimer()
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(iters)/secs, "iters/sec")
+			}
+		})
+	}
 }
 
 // BenchmarkExtensionWeightedSum quantifies the related-work remark that

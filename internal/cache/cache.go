@@ -11,9 +11,51 @@
 // of the main loop: newly generated plans are decomposed and dominated
 // sub-plans are replaced by cached Pareto partial plans, possibly with
 // different join orders.
+//
+// # Dominance index
+//
+// The frontier-approximation inner loop is admission-test bound: almost
+// every recombined candidate is rejected, and the naive test scans the
+// whole frontier (WouldAdmit). Buckets therefore maintain, per output
+// representation, an index of their plans sorted by the first cost
+// metric together with prefix-min "corner" vectors (component-wise
+// minima of the sorted prefix). Admits binary-searches the prefix whose
+// first-metric cost can still α-dominate the candidate, early-accepts
+// when the prefix corner does not α-dominate it (the corner weakly
+// dominates every member, so a member α-dominating the candidate
+// implies the corner does too — if the corner fails, every member
+// fails), and otherwise scans only that prefix, strongest plans first.
+// The index is lazy: frontiers at or below the linear-scan cutoff are
+// probed with the plain reference scan and carry no index at all, and
+// an admission merely invalidates the class index until the next
+// over-cutoff probe rebuilds it — cold runs full of small buckets pay
+// nothing for the machinery. The admission DECISION is bit-identical
+// to the naive scan; only the work differs. On top, a per-bucket α-cell
+// grid keyed by ⌊log_α cost⌋ per component (the logarithmic cost cells
+// of Lemma 6) provides O(1) rejection at coarse α: plans sharing a cell
+// approximately dominate each other, so an occupied cell rejects a
+// candidate after a single verification against the cell representative.
+// Grid hits are verified, and evicted representatives stay sound because
+// every evicted plan is weakly dominated by a surviving one.
+//
+// # Generations and deltas
+//
+// Every bucket stamps admissions with a monotone epoch; plans are kept
+// in admission order so the plans admitted after a given mark form a
+// suffix (Since). Join-node recombination uses this to become
+// incremental: BeginRecomb remembers, per (parent, outer-child,
+// inner-child) partition, the child epochs and precision of the last
+// visit, skips visits whose children are unchanged at the same-or-
+// coarser α, and otherwise narrows recombination to the pairs involving
+// a newly admitted child plan. The same marks power delta-based merging
+// of parallel worker frontiers (see internal/opt.DeltaFrontier).
 package cache
 
 import (
+	"cmp"
+	"math"
+	"slices"
+
 	"rmq/internal/cost"
 	"rmq/internal/plan"
 	"rmq/internal/tableset"
@@ -54,7 +96,9 @@ func Prune(plans []*plan.Plan, newPlan *plan.Plan) []*plan.Plan {
 
 // WouldAdmit reports whether a plan with the given cost vector and output
 // representation would pass PruneApprox's admission test against plans.
-// Hot loops use it to discard candidates before allocating plan nodes.
+// It is the naive linear reference scan; indexed buckets answer the same
+// question through Bucket.Admits, and the differential tests pin the two
+// to identical decisions.
 func WouldAdmit(plans []*plan.Plan, vec cost.Vector, out plan.OutputProp, alpha float64) bool {
 	for _, p := range plans {
 		if p.Output == out && p.Cost.ApproxDominates(vec, alpha) {
@@ -70,7 +114,8 @@ func WouldAdmit(plans []*plan.Plan, vec cost.Vector, out plan.OutputProp, alpha 
 // (weakly) dominates are evicted. It returns the updated slice and
 // whether the new plan was admitted. With α = 1 the result is a plain
 // Pareto set per output format; larger α yields the sparser
-// α-approximate frontiers whose size Lemma 6 bounds.
+// α-approximate frontiers whose size Lemma 6 bounds. It is the naive
+// reference implementation of Bucket.Insert.
 func PruneApprox(plans []*plan.Plan, newPlan *plan.Plan, alpha float64) ([]*plan.Plan, bool) {
 	if !WouldAdmit(plans, newPlan.Cost, newPlan.Output, alpha) {
 		return plans, false
@@ -84,33 +129,433 @@ func PruneApprox(plans []*plan.Plan, newPlan *plan.Plan, alpha float64) ([]*plan
 	return append(keep, newPlan), true
 }
 
+// minGridAlpha gates the α-cell grid: below it the cells are too fine to
+// reject much, and the map upkeep outweighs the saved scans.
+const minGridAlpha = 1.25
+
+// minGridPlans gates the α-cell grid by frontier size: for the small
+// buckets coarse α produces (Lemma 6), a linear scan beats any map.
+const minGridPlans = 24
+
+// linearScanCutoff is the per-output frontier size below which Admits
+// scans linearly instead of binary-searching — same decision, better
+// constants on the small buckets that dominate coarse-α runs.
+const linearScanCutoff = 12
+
+// maxRecombStates bounds the per-bucket partition memo; partitions past
+// the bound recombine fully on every visit (correct, just not
+// incremental). Only pathologically long runs on huge queries reach it.
+const maxRecombStates = 4096
+
+// outIdx is the per-output-representation dominance index of a bucket:
+// the frontier sorted ascending by the first cost metric, with
+// corners[i] holding the component-wise minimum of sorted[:i+1]. It is
+// built lazily — only once a bucket's per-output frontier outgrows the
+// linear-scan cutoff does an admission probe pay the one-time sort —
+// and an admission to the output class simply invalidates it, so the
+// small buckets that dominate cold runs never maintain an index at all.
+type outIdx struct {
+	sorted  []*plan.Plan
+	corners []cost.Vector
+}
+
+// rebuildCorners recomputes the prefix-min corners for the sorted
+// frontier.
+func (ix *outIdx) rebuildCorners() {
+	if cap(ix.corners) < len(ix.sorted) {
+		ix.corners = make([]cost.Vector, len(ix.sorted), 2*len(ix.sorted))
+	}
+	ix.corners = ix.corners[:len(ix.sorted)]
+	for i, p := range ix.sorted {
+		c := p.Cost
+		if i > 0 {
+			c = ix.corners[i-1].Min(c)
+		}
+		ix.corners[i] = c
+	}
+}
+
+// gridKey addresses one logarithmic cost cell of one output
+// representation (Lemma 6's cells, keyed per format because pruning
+// never compares across formats).
+type gridKey struct {
+	out   plan.OutputProp
+	cells [cost.MaxMetrics]int16
+}
+
+// bucketPair keys the partition memo of incremental recombination.
+// Buckets are stable for the lifetime of a cache, so the child bucket
+// identities name the partition.
+type bucketPair struct {
+	outer, inner *Bucket
+}
+
+// recombState remembers one partition's last visit: how far into each
+// child frontier the pairs have been offered, and the coarsest α any of
+// those offers still covers exactly.
+type recombState struct {
+	outerMark, innerMark uint64
+	// covered is the maximum α at which any already-formed pair was last
+	// offered. Offers at α' ≥ covered of previously offered pairs are
+	// provably no-ops (rejection persists under eviction, admitted plans
+	// re-reject), so delta visits are exact; a visit at α' < covered must
+	// re-offer the full cross product, since a finer precision can admit
+	// previously rejected candidates.
+	covered float64
+}
+
+// Visit describes the pair ranges one join-node recombination must
+// offer, as computed by BeginRecomb.
+type Visit struct {
+	// Outers and Inners are the children's full current frontiers, in
+	// admission order. Callers must not modify them.
+	Outers, Inners []*plan.Plan
+	// NewOuters and NewInners are the suffixes of Outers/Inners admitted
+	// since the partition's last visit (empty on full visits).
+	NewOuters, NewInners []*plan.Plan
+	// Full requests the complete cross product (first visit, or a finer
+	// α than every earlier offer).
+	Full bool
+	// Skip reports that no pair needs offering: the children are
+	// unchanged since the last visit at a same-or-coarser α.
+	Skip bool
+}
+
 // Bucket holds the frontier of one table set. Obtaining the bucket once
 // and operating on it directly avoids repeated map lookups in the
-// frontier-approximation inner loops.
+// frontier-approximation inner loops. Plans are kept in admission order,
+// so delta consumers (Since, BeginRecomb) see newly admitted plans as a
+// suffix.
 type Bucket struct {
-	plans []*plan.Plan
-	cache *Cache
+	plans  []*plan.Plan
+	epochs []uint64 // admission epoch per plan; ascending
+	epoch  uint64   // admissions ever (evictions do not decrease it)
+	cache  *Cache
+	naive  bool
+
+	// counts tracks the per-output frontier sizes; the admission path
+	// uses them to pick linear scan vs index without touching the index.
+	counts [plan.NumOutputProps]int32
+	// corner is the running component-wise minimum over every admission.
+	// Evictions may leave it lower than the current frontier's true
+	// minimum, which only loosens (never unsounds) the floors built on
+	// it: a lower bound of a superset bounds the subset.
+	corner    cost.Vector
+	hasCorner bool
+
+	idx [plan.NumOutputProps]outIdx
+
+	grid      map[gridKey]*plan.Plan
+	gridAlpha float64
+	gridInv   float64 // 1/ln(gridAlpha)
+
+	recombs   []recombState
+	recombIdx map[bucketPair]int
 }
 
-// Plans returns the bucket's frontier; callers must not modify it.
+// Plans returns the bucket's frontier in admission order; callers must
+// not modify it.
 func (b *Bucket) Plans() []*plan.Plan { return b.plans }
 
-// Admits reports whether a plan with the given cost and output
-// representation would be admitted under factor α.
-func (b *Bucket) Admits(vec cost.Vector, out plan.OutputProp, alpha float64) bool {
-	return WouldAdmit(b.plans, vec, out, alpha)
+// Epoch returns the bucket's admission mark: the number of plans ever
+// admitted. Pass it to Since later to enumerate what arrived in between.
+func (b *Bucket) Epoch() uint64 { return b.epoch }
+
+// Since returns the bucket plans admitted after mark (0 = everything),
+// in admission order. Plans admitted after mark but already evicted
+// again do not appear; dominance-based consumers lose nothing, since
+// every evicted plan is weakly dominated by a surviving same-output
+// plan. Callers must not modify the returned slice.
+func (b *Bucket) Since(mark uint64) []*plan.Plan {
+	return b.plans[EpochSuffix(b.epochs, mark):]
 }
 
-// Insert prunes newPlan into the bucket with PruneApprox and reports
-// whether it was admitted.
-func (b *Bucket) Insert(newPlan *plan.Plan, alpha float64) bool {
-	before := len(b.plans)
-	updated, admitted := PruneApprox(b.plans, newPlan, alpha)
-	b.plans = updated
-	if b.cache != nil {
-		b.cache.plans += len(updated) - before
+// EpochSuffix returns the index of the first entry of the ascending
+// epochs slice strictly greater than mark — the start of the "admitted
+// since mark" suffix. Shared by every admission-mark consumer
+// (Bucket.Since, opt.Archive.Since) so the boundary convention lives in
+// one place.
+func EpochSuffix(epochs []uint64, mark uint64) int {
+	lo, hi := 0, len(epochs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if epochs[mid] > mark {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
 	}
-	return admitted
+	return lo
+}
+
+// Prepare readies the bucket's α-cell grid for a sequence of admission
+// probes at the given precision, rebuilding it when α changed since the
+// last preparation. Callers that skip Prepare still get exact answers —
+// the grid is consulted only when its α matches.
+func (b *Bucket) Prepare(alpha float64) {
+	if b.naive {
+		return
+	}
+	if alpha < minGridAlpha || math.IsInf(alpha, 1) {
+		b.grid = nil
+		return
+	}
+	if b.grid != nil && alpha == b.gridAlpha {
+		// Up to date; size dips below minGridPlans do not discard an
+		// already built grid (no rebuild thrash around the threshold).
+		return
+	}
+	if len(b.plans) < minGridPlans {
+		// Too small to pay for a grid. A stale-α grid may linger: Admits
+		// consults it only when its α matches, so it is inert until the
+		// next rebuild reuses its storage.
+		return
+	}
+	b.gridAlpha = alpha
+	b.gridInv = 1 / math.Log(alpha)
+	if b.grid == nil {
+		b.grid = make(map[gridKey]*plan.Plan, len(b.plans)+8)
+	} else {
+		clear(b.grid)
+	}
+	for _, p := range b.plans {
+		b.grid[gridKey{p.Output, p.Cost.Cells(b.gridInv)}] = p
+	}
+}
+
+// Admits reports whether a plan with the given cost and output
+// representation would be admitted under factor α. The decision is
+// bit-identical to the naive WouldAdmit scan; the index only shrinks the
+// work: an α-cell grid hit rejects in O(1), the sorted first-metric
+// index bounds the scan to the prefix that can still dominate, and the
+// prefix-min corner accepts clear newcomers without touching a single
+// plan.
+func (b *Bucket) Admits(vec cost.Vector, out plan.OutputProp, alpha float64) bool {
+	if b.naive {
+		return WouldAdmit(b.plans, vec, out, alpha)
+	}
+	n := int(b.counts[out])
+	if n == 0 {
+		return true
+	}
+	if math.IsInf(alpha, 1) {
+		// α = ∞ approximates everything: any same-output plan rejects.
+		return false
+	}
+	if n <= linearScanCutoff {
+		// Small frontiers (the common case at coarse α, Lemma 6) are
+		// cheapest to scan directly, with zero index upkeep.
+		if len(b.plans) <= 2*linearScanCutoff {
+			return WouldAdmit(b.plans, vec, out, alpha)
+		}
+		// Class imbalance: the class is small but the bucket is not, so
+		// scan the class index instead of the whole bucket (rebuilt at
+		// most once per admission to the class; probes dominate). The
+		// ascending first metric ends the scan at the α-bound.
+		ix := b.ensureIdx(out)
+		bound := alpha * vec.V[0]
+		for _, p := range ix.sorted {
+			if p.Cost.V[0] > bound {
+				return true
+			}
+			if p.Cost.ApproxDominates(vec, alpha) {
+				return false
+			}
+		}
+		return true
+	}
+	if b.grid != nil && alpha == b.gridAlpha {
+		if rep := b.grid[gridKey{out, vec.Cells(b.gridInv)}]; rep != nil && rep.Cost.ApproxDominates(vec, alpha) {
+			// The representative was admitted once; if since evicted, a
+			// surviving plan weakly dominates it and thus also α-dominates
+			// vec — the rejection matches the naive scan either way.
+			return false
+		}
+	}
+	// Only plans whose first metric is ≤ α·vec[0] can α-dominate vec,
+	// and the index is sorted by exactly that metric.
+	ix := b.ensureIdx(out)
+	bound := alpha * vec.V[0]
+	lo, hi := 0, n
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ix.sorted[mid].Cost.V[0] > bound {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo == 0 {
+		return true
+	}
+	if !ix.corners[lo-1].ApproxDominates(vec, alpha) {
+		// The corner weakly dominates every prefix plan; if even it does
+		// not α-dominate the candidate, none of them can.
+		return true
+	}
+	for _, p := range ix.sorted[:lo] {
+		if p.Cost.ApproxDominates(vec, alpha) {
+			return false
+		}
+	}
+	return true
+}
+
+// Indexed reports whether the bucket runs the dominance-indexed
+// implementation (false for the Naive() reference). Recombination uses
+// it to decide whether floor pre-filtering is worthwhile.
+func (b *Bucket) Indexed() bool { return !b.naive }
+
+// Corner returns a component-wise lower bound on every plan of the
+// frontier (all output representations) and whether the bucket ever
+// admitted one. It is the running minimum over all admissions — after
+// evictions it may sit below the surviving frontier, which keeps it a
+// valid (merely looser) lower bound. Combining two buckets' corners
+// lower-bounds every recombination candidate of the two frontiers: the
+// whole-visit admission floor.
+func (b *Bucket) Corner() (cost.Vector, bool) {
+	return b.corner, b.hasCorner
+}
+
+// ensureIdx returns the dominance index of the output class, rebuilding
+// it if admissions invalidated it since the last build. The rebuild is
+// a filter of the admission-ordered frontier plus one stable sort, so
+// ties on the first metric keep admission order.
+func (b *Bucket) ensureIdx(out plan.OutputProp) *outIdx {
+	ix := &b.idx[out]
+	if len(ix.sorted) == int(b.counts[out]) {
+		return ix
+	}
+	ix.sorted = ix.sorted[:0]
+	for _, p := range b.plans {
+		if p.Output == out {
+			ix.sorted = append(ix.sorted, p)
+		}
+	}
+	slices.SortStableFunc(ix.sorted, func(a, c *plan.Plan) int {
+		return cmp.Compare(a.Cost.V[0], c.Cost.V[0])
+	})
+	ix.rebuildCorners()
+	return ix
+}
+
+// AdmitsFloor reports whether a candidate plan whose cost is bounded
+// below (component-wise) by floor could be admitted under factor α with
+// the given output representation. It is the recombination pre-filter:
+// every join operator's cost is the children's cost combination plus
+// non-negative operator terms, so when the bucket rejects the
+// combination itself, it provably rejects every operator's actual cost
+// (q ⪯α floor and floor ≤ vec imply q ⪯α vec) and the caller can skip
+// pricing the whole operator group. A true result promises nothing —
+// callers still run the exact per-candidate test. Naive buckets always
+// return true, keeping the reference arm of the ablation a literal
+// transcription of Algorithm 3.
+func (b *Bucket) AdmitsFloor(floor cost.Vector, out plan.OutputProp, alpha float64) bool {
+	if b.naive {
+		return true
+	}
+	return b.Admits(floor, out, alpha)
+}
+
+// Insert prunes newPlan into the bucket under factor α — the PruneApprox
+// step of Algorithm 3, against the index — and reports whether it was
+// admitted. The surviving frontier is bit-identical to the naive
+// reference (same admission decision, same plans, same order).
+func (b *Bucket) Insert(newPlan *plan.Plan, alpha float64) bool {
+	if !b.Admits(newPlan.Cost, newPlan.Output, alpha) {
+		return false
+	}
+	if b.plans == nil {
+		// Batch the first allocations: most buckets stay this small, so
+		// one sized allocation replaces a doubling ladder.
+		b.plans = make([]*plan.Plan, 0, 8)
+		b.epochs = make([]uint64, 0, 8)
+	}
+	// Evict plans the new one weakly dominates, preserving admission
+	// order; SigBetter requires SameOutput, so only one output class
+	// changes.
+	evicted := 0
+	keep := b.plans[:0]
+	keepEp := b.epochs[:0]
+	for i, p := range b.plans {
+		if SigBetter(newPlan, p, 1) {
+			evicted++
+		} else {
+			keep = append(keep, p)
+			keepEp = append(keepEp, b.epochs[i])
+		}
+	}
+	b.plans = append(keep, newPlan)
+	b.epoch++
+	b.epochs = append(keepEp, b.epoch)
+	if b.cache != nil {
+		b.cache.plans += 1 - evicted
+	}
+	if !b.naive {
+		out := newPlan.Output
+		b.counts[out] += int32(1 - evicted)
+		// Invalidate the class index; the next over-cutoff probe
+		// rebuilds it. Small classes never build one at all.
+		b.idx[out].sorted = b.idx[out].sorted[:0]
+		if b.hasCorner {
+			b.corner = b.corner.Min(newPlan.Cost)
+		} else {
+			b.corner = newPlan.Cost
+			b.hasCorner = true
+		}
+		if b.grid != nil && alpha == b.gridAlpha {
+			// Stale cells of evicted plans stay: their dominator chain ends
+			// in a surviving plan, so rejections through them remain sound.
+			b.grid[gridKey{out, newPlan.Cost.Cells(b.gridInv)}] = newPlan
+		}
+	}
+	return true
+}
+
+// BeginRecomb plans an incremental recombination of this bucket from the
+// two child buckets at precision α: it looks up the partition's last
+// visit, reports which pair ranges still need offering (see Visit), and
+// records the children's current admission marks for the next visit.
+// Offering exactly the returned ranges yields a bucket state
+// bit-identical to recombining the full cross product on every visit,
+// provided pairs are offered in admission order with the old×new pairs
+// first (the order of the full product restricted to fresh pairs).
+func (b *Bucket) BeginRecomb(outer, inner *Bucket, alpha float64) Visit {
+	v := Visit{Outers: outer.plans, Inners: inner.plans}
+	key := bucketPair{outer, inner}
+	if b.recombIdx == nil {
+		b.recombIdx = make(map[bucketPair]int, 4)
+	}
+	i, ok := b.recombIdx[key]
+	if !ok {
+		v.Full = true
+		if len(b.recombs) >= maxRecombStates {
+			return v
+		}
+		b.recombIdx[key] = len(b.recombs)
+		b.recombs = append(b.recombs, recombState{outer.epoch, inner.epoch, alpha})
+		return v
+	}
+	st := &b.recombs[i]
+	if alpha < st.covered {
+		// Finer precision than some earlier offer: previously rejected
+		// candidates may now be admissible — redo the full product.
+		st.covered = alpha
+		st.outerMark, st.innerMark = outer.epoch, inner.epoch
+		v.Full = true
+		return v
+	}
+	v.NewOuters = outer.Since(st.outerMark)
+	v.NewInners = inner.Since(st.innerMark)
+	if len(v.NewOuters) == 0 && len(v.NewInners) == 0 {
+		v.Skip = true
+		return v
+	}
+	if alpha > st.covered {
+		st.covered = alpha
+	}
+	st.outerMark, st.innerMark = outer.epoch, inner.epoch
+	return v
 }
 
 // Cache is the plan cache P: for each table set, the frontier of
@@ -133,8 +578,22 @@ type Cache struct {
 	// foreign id namespace and must be ignored — every probe interns the
 	// set instead, which is correct but forgoes the indexed fast path.
 	private bool
-	sets    int
-	plans   int
+	// naive selects the reference linear-scan bucket implementation for
+	// differential tests and the indexing ablation benchmarks.
+	naive bool
+	sets  int
+	plans int
+}
+
+// Option configures a Cache at construction.
+type Option func(*Cache)
+
+// Naive selects the reference bucket implementation — linear WouldAdmit
+// scans and PruneApprox-by-the-book, no dominance index, no grid. It
+// exists so differential tests and ablation benchmarks can compare the
+// indexed buckets against the paper's literal loops.
+func Naive() Option {
+	return func(c *Cache) { c.naive = true }
 }
 
 // New returns an empty cache over the given interner, which must be the
@@ -142,23 +601,43 @@ type Cache struct {
 // costmodel.Model.Interner) so that plan RelIDs agree with bucket
 // indices. A nil interner gives the cache a private one; plan RelIDs
 // (assigned by some other interner) are then ignored entirely.
-func New(in *tableset.Interner) *Cache {
+func New(in *tableset.Interner, opts ...Option) *Cache {
+	c := &Cache{in: in}
 	if in == nil {
-		return &Cache{in: tableset.NewInterner(), private: true}
+		c.in = tableset.NewInterner()
+		c.private = true
 	}
-	return &Cache{in: in}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// newBucket returns an empty bucket wired to the cache's configuration.
+func (c *Cache) newBucket() *Bucket {
+	return &Bucket{cache: c, naive: c.naive}
 }
 
 // bucketAt returns the bucket with the given id, creating it if absent.
+// The bucket table grows geometrically, seeded from the interner's
+// reserved capacity, so the early iterations of a run do not recopy the
+// table once per freshly interned set.
 func (c *Cache) bucketAt(id tableset.ID) *Bucket {
 	if int(id) >= len(c.buckets) {
-		grown := make([]*Bucket, int(id)+1+len(c.buckets)/2)
+		size := 2 * len(c.buckets)
+		if hint := c.in.CapHint(); size < hint {
+			size = hint
+		}
+		if size < int(id)+1 {
+			size = int(id) + 1
+		}
+		grown := make([]*Bucket, size)
 		copy(grown, c.buckets)
 		c.buckets = grown
 	}
 	b := c.buckets[id]
 	if b == nil {
-		b = &Bucket{cache: c}
+		b = c.newBucket()
 		c.buckets[id] = b
 		c.sets++
 	}
@@ -173,7 +652,7 @@ func (c *Cache) overflowBucket(rel tableset.Set) *Bucket {
 		if c.overflow == nil {
 			c.overflow = make(map[tableset.Set]*Bucket)
 		}
-		b = &Bucket{cache: c}
+		b = c.newBucket()
 		c.overflow[rel] = b
 		c.sets++
 	}
@@ -231,7 +710,8 @@ func (c *Cache) Get(rel tableset.Set) []*plan.Plan {
 }
 
 // Insert prunes newPlan into the frontier of its table set using
-// PruneApprox with the given α and reports whether it was admitted.
+// PruneApprox semantics with the given α and reports whether it was
+// admitted.
 func (c *Cache) Insert(newPlan *plan.Plan, alpha float64) bool {
 	return c.BucketFor(newPlan).Insert(newPlan, alpha)
 }

@@ -1,0 +1,290 @@
+package cache
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"rmq/internal/cost"
+	"rmq/internal/plan"
+	"rmq/internal/tableset"
+)
+
+// randVec draws a cost vector with log-scaled components, salted with
+// exact duplicates and zeros so the differential tests exercise the
+// grid's CellFloor clamp and the index's equal-first-metric handling.
+func randVec(rng *rand.Rand, dim int) cost.Vector {
+	comps := make([]float64, dim)
+	for i := range comps {
+		switch rng.IntN(10) {
+		case 0:
+			comps[i] = 0 // pipelined plans have exactly zero disc cost
+		case 1:
+			comps[i] = 100 // frequent exact collisions
+		default:
+			comps[i] = math.Exp(rng.Float64() * 12)
+		}
+	}
+	return cost.New(comps...)
+}
+
+// runDifferential streams n random plans through an indexed bucket and
+// the naive reference loops side by side, checking every admission
+// decision and the full surviving frontier (same plans, same order)
+// after every insertion. alphaFor picks the precision per step.
+func runDifferential(t *testing.T, seed uint64, n, dim int, alphaFor func(rng *rand.Rand) float64) {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, 77))
+	c := New(nil)
+	b := c.Bucket(rel)
+	var ref []*plan.Plan
+	for i := 0; i < n; i++ {
+		alpha := alphaFor(rng)
+		if rng.IntN(4) == 0 {
+			// Exercise the grid rebuild path the way the frontier loop
+			// does: Prepare before a probe burst.
+			b.Prepare(alpha)
+		}
+		vec := randVec(rng, dim)
+		np := mkPlan(rel, plan.OutputProp(rng.IntN(2)), vec.V[:dim]...)
+		// Probe first: Admits must predict the insertion outcome.
+		probe := b.Admits(np.Cost, np.Output, alpha)
+		want := WouldAdmit(ref, np.Cost, np.Output, alpha)
+		if probe != want {
+			t.Fatalf("step %d (dim=%d α=%g): Admits=%v, reference WouldAdmit=%v", i, dim, alpha, probe, want)
+		}
+		var admitted bool
+		ref, admitted = PruneApprox(ref, np, alpha)
+		got := b.Insert(np, alpha)
+		if got != admitted {
+			t.Fatalf("step %d (dim=%d α=%g): Insert=%v, reference PruneApprox=%v", i, dim, alpha, got, admitted)
+		}
+		if len(b.Plans()) != len(ref) {
+			t.Fatalf("step %d: frontier sizes diverged: %d vs %d", i, len(b.Plans()), len(ref))
+		}
+		for j, p := range b.Plans() {
+			if p != ref[j] {
+				t.Fatalf("step %d: frontier order diverged at %d: %v vs %v", i, j, p.Cost, ref[j].Cost)
+			}
+		}
+	}
+	if c.NumPlans() != len(ref) {
+		t.Fatalf("NumPlans = %d, want %d", c.NumPlans(), len(ref))
+	}
+}
+
+// TestIndexedBucketMatchesReference is the differential test of the
+// dominance index: random plan streams pruned through the indexed
+// bucket must reproduce the naive Prune/PruneApprox loops exactly —
+// identical admission decisions and identical surviving frontiers —
+// across the α schedule's extremes and every supported metric count.
+func TestIndexedBucketMatchesReference(t *testing.T) {
+	for _, alpha := range []float64{1, 2, 25} {
+		for dim := 1; dim <= cost.MaxMetrics; dim++ {
+			runDifferential(t, uint64(dim)*1000+uint64(alpha), 400, dim,
+				func(*rand.Rand) float64 { return alpha })
+		}
+	}
+}
+
+// TestIndexedBucketMatchesReferenceVaryingAlpha repeats the
+// differential test with a per-insert random α (including coarse values
+// that thrash the grid rebuild) — the indexed bucket may not depend on
+// a stable precision.
+func TestIndexedBucketMatchesReferenceVaryingAlpha(t *testing.T) {
+	alphas := []float64{1, 1.1, 2, 5, 25, math.Inf(1)}
+	for dim := 1; dim <= cost.MaxMetrics; dim++ {
+		runDifferential(t, uint64(dim), 300, dim,
+			func(rng *rand.Rand) float64 { return alphas[rng.IntN(len(alphas))] })
+	}
+}
+
+// TestQuickIndexedBucketMatchesReference drives the differential
+// property from random seeds.
+func TestQuickIndexedBucketMatchesReference(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 99))
+		alpha := 1 + rng.Float64()*10
+		dim := 1 + int(seed%uint64(cost.MaxMetrics))
+		runDifferential(t, seed, 120, dim, func(*rand.Rand) float64 { return alpha })
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBucketEpochAndSince(t *testing.T) {
+	c := New(nil)
+	b := c.Bucket(rel)
+	if b.Epoch() != 0 || len(b.Since(0)) != 0 {
+		t.Fatal("fresh bucket not at mark 0")
+	}
+	p1 := mkPlan(rel, plan.Pipelined, 10, 1)
+	p2 := mkPlan(rel, plan.Pipelined, 1, 10)
+	b.Insert(p1, 1)
+	mark := b.Epoch()
+	if mark != 1 {
+		t.Fatalf("epoch = %d after one admission", mark)
+	}
+	b.Insert(p2, 1)
+	if got := b.Since(mark); len(got) != 1 || got[0] != p2 {
+		t.Fatalf("Since(%d) = %v", mark, got)
+	}
+	if got := b.Since(0); len(got) != 2 {
+		t.Fatalf("Since(0) = %d plans, want 2", len(got))
+	}
+	// An eviction removes the old plan but keeps the epoch monotone: the
+	// dominating newcomer is the only plan after the old mark.
+	p3 := mkPlan(rel, plan.Pipelined, 0.5, 0.5)
+	b.Insert(p3, 1)
+	if b.Epoch() != 3 {
+		t.Fatalf("epoch = %d, want 3 (evictions never decrease it)", b.Epoch())
+	}
+	if got := b.Since(mark); len(got) != 1 || got[0] != p3 {
+		t.Fatalf("Since(%d) after eviction = %v", mark, got)
+	}
+	if got := b.Since(b.Epoch()); len(got) != 0 {
+		t.Fatalf("Since(current) = %v, want empty", got)
+	}
+}
+
+func TestBeginRecombVisitLifecycle(t *testing.T) {
+	c := New(nil)
+	outer := c.Bucket(tableset.Single(0))
+	inner := c.Bucket(tableset.Single(1))
+	parent := c.Bucket(tableset.FromSlice([]int{0, 1}))
+	o1 := mkPlan(tableset.Single(0), plan.Materialized, 1, 9)
+	i1 := mkPlan(tableset.Single(1), plan.Materialized, 2, 8)
+	outer.Insert(o1, 1)
+	inner.Insert(i1, 1)
+
+	// First visit: full cross product.
+	v := parent.BeginRecomb(outer, inner, 2)
+	if !v.Full || v.Skip {
+		t.Fatalf("first visit = %+v, want full", v)
+	}
+	if len(v.Outers) != 1 || len(v.Inners) != 1 {
+		t.Fatalf("visit frontiers = %d×%d", len(v.Outers), len(v.Inners))
+	}
+
+	// Unchanged children at the same α: skip.
+	if v = parent.BeginRecomb(outer, inner, 2); !v.Skip {
+		t.Fatalf("unchanged children not skipped: %+v", v)
+	}
+	// Unchanged children at a coarser α: offers are still provably
+	// no-ops — skip.
+	if v = parent.BeginRecomb(outer, inner, 3); !v.Skip {
+		t.Fatalf("coarser α with unchanged children not skipped: %+v", v)
+	}
+
+	// A new outer plan: delta visit with the newcomer suffix.
+	o2 := mkPlan(tableset.Single(0), plan.Materialized, 9, 1)
+	outer.Insert(o2, 1)
+	v = parent.BeginRecomb(outer, inner, 3)
+	if v.Full || v.Skip {
+		t.Fatalf("changed children produced %+v, want delta", v)
+	}
+	if len(v.NewOuters) != 1 || v.NewOuters[0] != o2 || len(v.NewInners) != 0 {
+		t.Fatalf("delta = new outers %v, new inners %v", v.NewOuters, v.NewInners)
+	}
+	if len(v.Outers) != 2 {
+		t.Fatalf("full outers = %d, want 2", len(v.Outers))
+	}
+
+	// Finer α than every earlier offer: full cross product again.
+	v = parent.BeginRecomb(outer, inner, 1.5)
+	if !v.Full {
+		t.Fatalf("finer α did not force a full visit: %+v", v)
+	}
+	// ... and thereafter the finer precision is covered.
+	if v = parent.BeginRecomb(outer, inner, 1.5); !v.Skip {
+		t.Fatalf("converged finer visit not skipped: %+v", v)
+	}
+
+	// A different partition of the same parent has its own state.
+	other := c.Bucket(tableset.Single(2))
+	other.Insert(mkPlan(tableset.Single(2), plan.Materialized, 3, 3), 1)
+	if v = parent.BeginRecomb(outer, other, 1.5); !v.Full {
+		t.Fatalf("fresh partition not full: %+v", v)
+	}
+}
+
+// TestBucketTableGrowth covers the geometric bucket-table growth and the
+// interaction between indexed and overflow buckets across growth: plans
+// inserted before a growth burst must stay retrievable, countable and
+// prunable afterwards.
+func TestBucketTableGrowth(t *testing.T) {
+	in := tableset.NewInterner()
+	c := New(in)
+	early := tableset.Single(0)
+	earlyPlan := mkPlan(early, plan.Pipelined, 5, 5)
+	earlyPlan.RelID = in.Intern(early)
+	c.Insert(earlyPlan, 1)
+	earlyBucket := c.BucketFor(earlyPlan)
+
+	// A hand-built plan without an id lands in the overflow map.
+	ovRel := tableset.FromSlice([]int{90, 91})
+	ovPlan := mkPlan(ovRel, plan.Pipelined, 7, 7)
+	if !c.Insert(ovPlan, 1) {
+		t.Fatal("overflow insert rejected")
+	}
+
+	// Force several growth rounds by interning a long stream of sets.
+	for i := 1; i < 600; i++ {
+		rel := tableset.FromSlice([]int{i % 64, (i + 7) % 64, 64 + i%60})
+		p := mkPlan(rel, plan.Pipelined, float64(i), float64(600-i))
+		p.RelID = in.Intern(rel)
+		c.Insert(p, 1)
+	}
+
+	if got := c.BucketFor(earlyPlan); got != earlyBucket {
+		t.Fatal("growth moved an existing bucket")
+	}
+	if got := c.Get(early); len(got) != 1 || got[0] != earlyPlan {
+		t.Fatalf("early plan lost after growth: %v", got)
+	}
+	if got := c.Get(ovRel); len(got) != 1 || got[0] != ovPlan {
+		t.Fatalf("overflow plan lost after growth: %v", got)
+	}
+	// The early indexed bucket still prunes correctly after growth.
+	if !c.Insert(mkPlan(early, plan.Pipelined, 1, 1), 1) {
+		t.Fatal("dominating insert rejected after growth")
+	}
+	if got := c.Get(early); len(got) != 1 || got[0].Cost.At(0) != 1 {
+		t.Fatalf("post-growth eviction failed: %v", got)
+	}
+	// And the overflow bucket still prunes too.
+	if c.Insert(mkPlan(ovRel, plan.Pipelined, 9, 9), 1) {
+		t.Fatal("dominated overflow insert admitted after growth")
+	}
+}
+
+// TestNaiveOptionMatchesIndexed pins the Naive() cache option to the
+// same observable behavior as the default indexed cache.
+func TestNaiveOptionMatchesIndexed(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	ci := New(nil)
+	cn := New(nil, Naive())
+	for i := 0; i < 300; i++ {
+		vec := randVec(rng, 3)
+		out := plan.OutputProp(rng.IntN(2))
+		alpha := []float64{1, 2, 25}[rng.IntN(3)]
+		v3 := vec
+		gi := ci.Insert(mkPlan(rel, out, v3.V[:3]...), alpha)
+		gn := cn.Insert(mkPlan(rel, out, v3.V[:3]...), alpha)
+		if gi != gn {
+			t.Fatalf("step %d: indexed admitted=%v naive admitted=%v", i, gi, gn)
+		}
+	}
+	if ci.NumPlans() != cn.NumPlans() {
+		t.Fatalf("plan counts diverged: %d vs %d", ci.NumPlans(), cn.NumPlans())
+	}
+	a, b := ci.Get(rel), cn.Get(rel)
+	for i := range a {
+		if !a[i].Cost.Equal(b[i].Cost) || a[i].Output != b[i].Output {
+			t.Fatalf("frontier %d diverged: %v vs %v", i, a[i].Cost, b[i].Cost)
+		}
+	}
+}

@@ -72,13 +72,25 @@ func TestFrontierSteadyStateAllocsBounded(t *testing.T) {
 	c := NewClimber(m, ClimbConfig{})
 	p, _ := c.Climb(randplan.Random(m, m.Catalog().AllTables(), rng))
 	for i := 0; i < 3; i++ {
-		approximateFrontiers(m, p, pc, 2)
+		approximateFrontiers(m, p, pc, 2, false)
 	}
 	allocs := testing.AllocsPerRun(50, func() {
-		approximateFrontiers(m, p, pc, 2)
+		approximateFrontiers(m, p, pc, 2, false)
 	})
 	if allocs != 0 {
 		t.Errorf("converged frontier update allocates: %v allocs/run, want 0", allocs)
+	}
+	// The incremental path must converge to pure skips: once the visit
+	// memo is warm, re-approximating an unchanged plan allocates nothing
+	// either.
+	for i := 0; i < 2; i++ {
+		approximateFrontiers(m, p, pc, 2, true)
+	}
+	allocs = testing.AllocsPerRun(50, func() {
+		approximateFrontiers(m, p, pc, 2, true)
+	})
+	if allocs != 0 {
+		t.Errorf("converged incremental frontier update allocates: %v allocs/run, want 0", allocs)
 	}
 }
 

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"rmq/internal/plan"
+	"rmq/internal/randplan"
+)
+
+// benchApproxFrontiers measures the frontier-approximation phase in the
+// regime long anytime runs live in: a cache warmed by 200 real RMQ
+// iterations, then one climbed plan re-approximated per op from a
+// rotating pool of fresh local optima. After the pool's first lap the
+// cache is converged, so the measured work is the per-iteration cost of
+// ApproximateFrontiers once partial plans are shared — the half of the
+// iteration this PR attacks. All three variants produce bit-identical
+// caches (TestIncrementalRecombinationMatchesFull); only the machinery
+// differs: naive linear-scan buckets with full cross products, indexed
+// buckets (dominance index + admission floors) with full cross
+// products, and indexed buckets with incremental recombination.
+func benchApproxFrontiers(b *testing.B, cfg Config) {
+	const warmup = 200
+	p := testProblem(b, 50, 1)
+	r := New(cfg)
+	r.Init(p, 3)
+	for i := 0; i < warmup; i++ {
+		r.Step()
+	}
+	m := p.Model
+	climber := NewClimber(m, ClimbConfig{})
+	rng := rand.New(rand.NewPCG(11, 12))
+	pool := make([]*plan.Plan, 32)
+	for i := range pool {
+		pool[i], _ = climber.Climb(randplan.Random(m, p.Query, rng))
+	}
+	alpha := DefaultAlpha(warmup)
+	incremental := !cfg.DisableIncremental
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		approximateFrontiers(m, pool[i%len(pool)], r.cache, alpha, incremental)
+	}
+}
+
+// BenchmarkApproxFrontiers is the recombination ablation of the
+// indexed-cache PR; the acceptance bar is indexed-incremental ≥ 1.5×
+// faster than naive.
+func BenchmarkApproxFrontiers(b *testing.B) {
+	b.Run("naive", func(b *testing.B) {
+		benchApproxFrontiers(b, Config{NaiveCache: true, DisableIncremental: true})
+	})
+	b.Run("indexed", func(b *testing.B) {
+		benchApproxFrontiers(b, Config{DisableIncremental: true})
+	})
+	b.Run("indexed-incremental", func(b *testing.B) {
+		benchApproxFrontiers(b, Config{})
+	})
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"rmq/internal/plan"
+)
+
+// TestDefaultAlphaTableBitIdentical pins the precomputed α schedule
+// table to the literal formula 25 · 0.99^⌊i/25⌋ floored at 1 — not just
+// close, bit-identical.
+func TestDefaultAlphaTableBitIdentical(t *testing.T) {
+	formula := func(i int) float64 {
+		a := 25 * math.Pow(0.99, math.Floor(float64(i)/25))
+		if a < 1 {
+			return 1
+		}
+		return a
+	}
+	// Dense coverage over the live part of the schedule, sparse beyond
+	// the table, plus the out-of-domain cold path.
+	for i := 0; i <= 25*(defaultAlphaLevels+10); i++ {
+		if got, want := DefaultAlpha(i), formula(i); got != want {
+			t.Fatalf("DefaultAlpha(%d) = %v, want %v (formula)", i, got, want)
+		}
+	}
+	for _, i := range []int{1 << 20, 1 << 30, -1, -25, -26} {
+		if got, want := DefaultAlpha(i), formula(i); got != want {
+			t.Fatalf("DefaultAlpha(%d) = %v, want %v (formula)", i, got, want)
+		}
+	}
+}
+
+// frontierTrace flattens a frontier into comparable (output, cost)
+// tuples, preserving order.
+func frontierTrace(plans []*plan.Plan) []float64 {
+	var out []float64
+	for _, p := range plans {
+		out = append(out, float64(p.Output))
+		for i := 0; i < p.Cost.Dim(); i++ {
+			out = append(out, p.Cost.At(i))
+		}
+	}
+	return out
+}
+
+// TestIncrementalRecombinationMatchesFull is the end-to-end differential
+// test of the frontier-approximation rewrite: RMQ trajectories with the
+// indexed cache, the indexed cache without incremental recombination,
+// and the naive reference cache must be bit-identical — same root
+// frontier (plans and order), same cache size — because incremental
+// visits skip only provably no-op pair offers and the index only
+// accelerates identical admission decisions.
+func TestIncrementalRecombinationMatchesFull(t *testing.T) {
+	configs := map[string]Config{
+		"incremental": {},
+		"full":        {DisableIncremental: true},
+		"naive":       {DisableIncremental: true, NaiveCache: true},
+		"naive-inc":   {NaiveCache: true},
+	}
+	type result struct {
+		trace []float64
+		sets  int
+		plans int
+	}
+	results := make(map[string]result)
+	for name, cfg := range configs {
+		p := testProblem(t, 14, 42)
+		r := New(cfg)
+		r.Init(p, 7)
+		for i := 0; i < 80; i++ {
+			r.Step()
+		}
+		results[name] = result{
+			trace: frontierTrace(r.Frontier()),
+			sets:  r.Cache().NumSets(),
+			plans: r.Cache().NumPlans(),
+		}
+	}
+	ref := results["naive"]
+	for name, got := range results {
+		if got.sets != ref.sets || got.plans != ref.plans {
+			t.Errorf("%s cache size diverged: %d sets/%d plans, naive %d/%d",
+				name, got.sets, got.plans, ref.sets, ref.plans)
+		}
+		if len(got.trace) != len(ref.trace) {
+			t.Fatalf("%s frontier trace length %d, naive %d", name, len(got.trace), len(ref.trace))
+		}
+		for i := range got.trace {
+			if got.trace[i] != ref.trace[i] {
+				t.Fatalf("%s frontier diverged from naive at %d: %v vs %v",
+					name, i, got.trace[i], ref.trace[i])
+			}
+		}
+	}
+}
+
+// TestIncrementalMatchesFullUnderFixedAlpha repeats the differential
+// run with fixed coarse and fixed fine α schedules, the regimes where
+// visit skipping is most aggressive.
+func TestIncrementalMatchesFullUnderFixedAlpha(t *testing.T) {
+	for _, alpha := range []float64{1, 2, 25} {
+		sched := func(int) float64 { return alpha }
+		run := func(cfg Config) []float64 {
+			cfg.Alpha = sched
+			p := testProblem(t, 10, 17)
+			r := New(cfg)
+			r.Init(p, 23)
+			for i := 0; i < 50; i++ {
+				r.Step()
+			}
+			return frontierTrace(r.Frontier())
+		}
+		inc := run(Config{})
+		full := run(Config{DisableIncremental: true, NaiveCache: true})
+		if len(inc) != len(full) {
+			t.Fatalf("α=%g: trace lengths %d vs %d", alpha, len(inc), len(full))
+		}
+		for i := range inc {
+			if inc[i] != full[i] {
+				t.Fatalf("α=%g: traces diverged at %d", alpha, i)
+			}
+		}
+	}
+}
+
+// TestRMQFrontierDelta checks the opt.DeltaFrontier implementation: the
+// deltas between marks must tile the admission stream, and folding them
+// dominance-wise must recover the final frontier.
+func TestRMQFrontierDelta(t *testing.T) {
+	p := testProblem(t, 10, 91)
+	r := New(Config{})
+	r.Init(p, 5)
+	var mark uint64
+	seen := make(map[*plan.Plan]bool)
+	for i := 0; i < 40; i++ {
+		r.Step()
+		var delta []*plan.Plan
+		delta, mark = r.FrontierDelta(mark)
+		for _, dp := range delta {
+			if seen[dp] {
+				t.Fatalf("plan delivered in two deltas: %v", dp.Cost)
+			}
+			seen[dp] = true
+		}
+	}
+	if delta, _ := r.FrontierDelta(mark); len(delta) != 0 {
+		t.Fatalf("empty-step delta has %d plans", len(delta))
+	}
+	// Every current frontier plan must have appeared in some delta.
+	for _, fp := range r.Frontier() {
+		if !seen[fp] {
+			t.Fatalf("frontier plan never reported in a delta: %v", fp.Cost)
+		}
+	}
+	// FrontierDelta(0) returns the full current frontier.
+	full, _ := r.FrontierDelta(0)
+	if len(full) != len(r.Frontier()) {
+		t.Fatalf("FrontierDelta(0) = %d plans, Frontier = %d", len(full), len(r.Frontier()))
+	}
+}
+
+// TestRMQFrontierDeltaDisableFrontier covers the archive-backed delta
+// path of the DisableFrontier ablation.
+func TestRMQFrontierDeltaDisableFrontier(t *testing.T) {
+	p := testProblem(t, 8, 92)
+	r := New(Config{DisableFrontier: true})
+	r.Init(p, 5)
+	var mark uint64
+	count := 0
+	for i := 0; i < 20; i++ {
+		r.Step()
+		var delta []*plan.Plan
+		delta, mark = r.FrontierDelta(mark)
+		count += len(delta)
+	}
+	if count == 0 {
+		t.Fatal("no plans reported via archive deltas")
+	}
+	if len(r.Frontier()) > count {
+		t.Fatalf("frontier %d larger than total delta count %d", len(r.Frontier()), count)
+	}
+}

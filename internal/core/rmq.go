@@ -26,6 +26,16 @@ type Config struct {
 	// (the cache ablation): every iteration approximates frontiers in a
 	// private cache and only the resulting full-query plans are retained.
 	DisableCache bool
+	// DisableIncremental forces full cross-product recombination on
+	// every join-node visit of the frontier approximation (the
+	// incremental-recombination ablation). The cache contents are
+	// identical either way — incremental visits skip only provably
+	// no-op pair offers — so this trades speed for nothing and exists
+	// for benchmarks and differential tests.
+	DisableIncremental bool
+	// NaiveCache replaces the indexed cache buckets with the reference
+	// linear-scan implementation (the dominance-index ablation).
+	NaiveCache bool
 	// DisableFrontier skips the frontier approximation phase entirely
 	// and archives only the locally optimal plans — this degenerates RMQ
 	// into plain iterative improvement and is used by ablation tests.
@@ -86,7 +96,7 @@ func (r *RMQ) Init(p *opt.Problem, seed uint64) {
 	climbCfg := r.cfg.Climb
 	climbCfg.Space = r.cfg.Space
 	r.climber = NewClimber(p.Model, climbCfg)
-	r.cache = cache.New(p.Model.Interner())
+	r.cache = cache.New(p.Model.Interner(), r.cacheOptions()...)
 	r.archive.Reset()
 	r.iter = 0
 	r.stats = Stats{}
@@ -117,6 +127,7 @@ func (r *RMQ) Step() bool {
 	if r.cfg.Alpha != nil {
 		alpha = r.cfg.Alpha(r.iter)
 	}
+	incremental := !r.cfg.DisableIncremental
 	switch {
 	case r.cfg.DisableFrontier:
 		r.archive.Add(optPlan)
@@ -125,19 +136,29 @@ func (r *RMQ) Step() bool {
 		// partial plans are shared across iterations, but keep the
 		// full-query admission identical (same α into the persistent
 		// root bucket) so only the sharing effect is isolated.
-		private := cache.New(m.Interner())
-		approximateFrontiers(m, optPlan, private, alpha)
+		// A per-iteration cache can never see a repeat visit, so the
+		// incremental memo would be pure bookkeeping here — skip it.
+		private := cache.New(m.Interner(), r.cacheOptions()...)
+		approximateFrontiers(m, optPlan, private, alpha, false)
 		for _, fp := range private.Get(r.problem.Query) {
 			r.cache.Insert(fp, alpha)
 		}
 	default:
-		approximateFrontiers(m, optPlan, r.cache, alpha)
+		approximateFrontiers(m, optPlan, r.cache, alpha, incremental)
 	}
 
 	r.stats.Iterations = r.iter
 	r.stats.CachedSets = r.cache.NumSets()
 	r.stats.CachedPlans = r.cache.NumPlans()
 	return true
+}
+
+// cacheOptions translates the configuration into plan cache options.
+func (r *RMQ) cacheOptions() []cache.Option {
+	if r.cfg.NaiveCache {
+		return []cache.Option{cache.Naive()}
+	}
+	return nil
 }
 
 // Frontier implements opt.Optimizer: the cached Pareto plans for the full
@@ -147,6 +168,18 @@ func (r *RMQ) Frontier() []*plan.Plan {
 		return r.archive.Plans()
 	}
 	return r.cache.Get(r.problem.Query)
+}
+
+// FrontierDelta implements opt.DeltaFrontier: the result plans admitted
+// since mark, straight from the root bucket's (or the ablation
+// archive's) admission epochs, so periodic merges into a shared archive
+// touch only what is new.
+func (r *RMQ) FrontierDelta(mark uint64) ([]*plan.Plan, uint64) {
+	if r.cfg.DisableFrontier {
+		return r.archive.Since(mark)
+	}
+	b := r.cache.Bucket(r.problem.Query)
+	return b.Since(mark), b.Epoch()
 }
 
 // Stats returns the statistics accumulated since Init.

@@ -80,6 +80,54 @@ func (v Vector) Max(o Vector) Vector {
 	return v
 }
 
+// Min returns the component-wise minimum. Dominance indexes use it to
+// maintain prefix-min "corner" vectors: the corner of a plan set weakly
+// dominates every member, so a candidate the corner does not
+// approximately dominate cannot be approximately dominated by any
+// member — the early-accept test of the indexed admission path.
+func (v Vector) Min(o Vector) Vector {
+	v.checkDim(o)
+	for i := 0; i < int(v.N); i++ {
+		if o.V[i] < v.V[i] {
+			v.V[i] = o.V[i]
+		}
+	}
+	return v
+}
+
+// CellFloor is the smallest component value distinguished by Cells;
+// smaller values (including exact zeros, e.g. the disc cost of a fully
+// pipelined plan) share the lowest cell coordinate.
+const CellFloor = 1e-9
+
+// cellClamp bounds cell coordinates to a comfortable int16 range.
+const cellClamp = 32000
+
+// Cells returns the α-cell coordinates ⌊log_α v_i⌋ of the vector, given
+// invLnAlpha = 1/ln α for the approximation factor α > 1. Two vectors
+// with equal coordinates lie in the same logarithmic cost cell of
+// Lemma 6 and therefore approximately dominate each other — up to the
+// CellFloor and cellClamp edge cases, which is why consumers must
+// verify a cell hit with ApproxDominates before acting on it.
+func (v Vector) Cells(invLnAlpha float64) [MaxMetrics]int16 {
+	var c [MaxMetrics]int16
+	for i := 0; i < int(v.N); i++ {
+		x := v.V[i]
+		if x < CellFloor {
+			x = CellFloor
+		}
+		k := math.Floor(math.Log(x) * invLnAlpha)
+		switch {
+		case k > cellClamp:
+			k = cellClamp
+		case k < -cellClamp:
+			k = -cellClamp
+		}
+		c[i] = int16(k)
+	}
+	return c
+}
+
 // Scale returns the vector scaled by f ≥ 0, saturated at Saturation.
 func (v Vector) Scale(f float64) Vector {
 	for i := 0; i < int(v.N); i++ {

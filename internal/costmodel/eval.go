@@ -29,7 +29,11 @@ type JoinEval struct {
 	// rawsByOp is indexed by plan.JoinOp; padded to a power of two so
 	// the pricing hot path can mask the index instead of bounds-checking
 	// (which also keeps OpCost within the inlining budget).
-	rawsByOp   [16]raw
+	rawsByOp [16]raw
+	// minRaw, filled by PrepareFloors, holds per output representation
+	// the component-wise minima over the matching operators' raw costs —
+	// the ingredient of the FloorCost admission pre-filter.
+	minRaw     [plan.NumOutputProps]raw
 	ti, bi, di int32
 }
 
@@ -89,6 +93,56 @@ func (e *JoinEval) OpCost(op plan.JoinOp, base cost.Vector) cost.Vector {
 	}
 	return base
 }
+
+// PrepareFloors derives, from a prepared evaluator, the per-output
+// component-wise minima over the operators' raw costs. Call it once
+// after PrepareJoin when FloorCost will be used.
+func (e *JoinEval) PrepareFloors() {
+	for _, out := range []plan.OutputProp{plan.Pipelined, plan.Materialized} {
+		m := raw{time: inf, buffer: inf, disc: inf}
+		mat := out == plan.Materialized
+		for alg := plan.JoinAlg(0); alg < plan.NumJoinAlgs; alg++ {
+			r := &e.rawsByOp[plan.MakeJoinOp(alg, mat)&15]
+			if r.time < m.time {
+				m.time = r.time
+			}
+			if r.buffer < m.buffer {
+				m.buffer = r.buffer
+			}
+			if r.disc < m.disc {
+				m.disc = r.disc
+			}
+		}
+		e.minRaw[out] = m
+	}
+}
+
+// FloorCost returns a lower bound on the cost of every prepared join
+// operator with the given output representation over base (the children
+// combination from CombineChildren): base composed with the
+// component-wise minimum of the matching operators' raw costs
+// (PrepareFloors). Operator raw costs are non-negative and the
+// composition rules are monotone, so OpCost(op, base) ≥
+// FloorCost(base, op.Output()) component-wise for every prepared op
+// with that output — the admission pre-filter of the frontier
+// recombination builds on exactly this. The bound covers all operators
+// of the representation, so it is also valid for the restricted
+// operator subsets of pipelined inner inputs.
+func (e *JoinEval) FloorCost(base cost.Vector, out plan.OutputProp) cost.Vector {
+	r := &e.minRaw[out]
+	if i := e.ti; i >= 0 {
+		base.V[i] = min(base.V[i]+r.time, cost.Saturation)
+	}
+	if i := e.bi; i >= 0 {
+		base.V[i] = max(base.V[i], r.buffer)
+	}
+	if i := e.di; i >= 0 {
+		base.V[i] = min(base.V[i]+r.disc, cost.Saturation)
+	}
+	return base
+}
+
+const inf = 1e308
 
 // OpCostAll prices every operator of ops over base into out (one slot
 // per ops index; len(ops) ≤ 16). Batching the loop into one call keeps

@@ -135,3 +135,38 @@ func TestEvalAllocFree(t *testing.T) {
 		t.Errorf("evaluator hot path allocates: %v allocs/run, want 0", allocs)
 	}
 }
+
+// TestFloorCostLowerBoundsEveryOperator: the admission pre-filter of
+// the frontier recombination is sound only if FloorCost never exceeds
+// any prepared operator's actual cost for the matching output
+// representation — checked here over random cardinalities.
+func TestFloorCostLowerBoundsEveryOperator(t *testing.T) {
+	rng0 := rand.New(rand.NewPCG(17, 17))
+	cat := catalog.Generate(catalog.GenSpec{Tables: 4, Graph: catalog.Chain, Selectivity: catalog.Steinbrunn}, rng0)
+	for _, metrics := range [][]Metric{AllMetrics(), {Time}, {Buffer, Disc}} {
+		m := New(cat, metrics)
+		var ev JoinEval
+		rng := rand.New(rand.NewPCG(18, 18))
+		for trial := 0; trial < 200; trial++ {
+			oc := math.Exp(rng.Float64() * 30)
+			ic := math.Exp(rng.Float64() * 30)
+			out := oc * ic * rng.Float64()
+			m.PrepareJoin(&ev, oc, ic, out)
+			ev.PrepareFloors()
+			comps := make([]float64, len(metrics))
+			for i := range comps {
+				comps[i] = math.Exp(rng.Float64() * 20)
+			}
+			base := cost.New(comps...)
+			for _, inner := range []plan.OutputProp{plan.Pipelined, plan.Materialized} {
+				for _, op := range plan.JoinOpsFor(inner) {
+					floor := ev.FloorCost(base, op.Output())
+					vec := ev.OpCost(op, base)
+					if !floor.Dominates(vec) {
+						t.Fatalf("floor %v exceeds op %v cost %v (metrics %v)", floor, op, vec, metrics)
+					}
+				}
+			}
+		}
+	}
+}

@@ -6,6 +6,7 @@
 package opt
 
 import (
+	"rmq/internal/cache"
 	"rmq/internal/catalog"
 	"rmq/internal/cost"
 	"rmq/internal/costmodel"
@@ -60,6 +61,24 @@ type Optimizer interface {
 	Frontier() []*plan.Plan
 }
 
+// DeltaFrontier is an optional Optimizer extension: optimizers whose
+// result frontier carries admission marks can report just the plans
+// admitted since a previous mark, so a periodic merge into a shared
+// archive costs O(new plans) instead of O(frontier). Run uses it for
+// delta-based parallel merging (see MergeStrategy).
+//
+// FrontierDelta(0) must return the full current frontier; the returned
+// mark is passed to the next call. The union of all deltas may include
+// plans that were admitted and later evicted again — harmless for
+// dominance-based consumers, because every evicted plan is weakly
+// dominated by a plan in the final frontier, so folding the deltas into
+// a non-dominated archive yields the same cost set as folding the final
+// frontier. Like Frontier, the returned slice must not be modified and
+// is valid until the next Step call.
+type DeltaFrontier interface {
+	FrontierDelta(mark uint64) ([]*plan.Plan, uint64)
+}
+
 // Factory constructs a fresh optimizer instance. The harness uses
 // factories so concurrent test cases never share optimizer state.
 type Factory struct {
@@ -73,8 +92,13 @@ type Factory struct {
 // vectors are not weakly dominated by another archived plan. Output data
 // representations are ignored: archive entries are final results for the
 // full query, compared on cost alone (the paper's result plan sets).
+// Plans are kept in admission order and admissions are stamped with a
+// monotone epoch, so the plans admitted since a mark form a suffix
+// (Since) — the building block of delta-based merging.
 type Archive struct {
-	plans []*plan.Plan
+	plans  []*plan.Plan
+	epochs []uint64 // admission epoch per plan; ascending
+	epoch  uint64   // admissions ever
 }
 
 // Add inserts p unless an archived plan weakly dominates it (which also
@@ -87,23 +111,40 @@ func (a *Archive) Add(p *plan.Plan) bool {
 		}
 	}
 	keep := a.plans[:0]
-	for _, q := range a.plans {
+	keepEp := a.epochs[:0]
+	for i, q := range a.plans {
 		if !p.Cost.Dominates(q.Cost) {
 			keep = append(keep, q)
+			keepEp = append(keepEp, a.epochs[i])
 		}
 	}
 	a.plans = append(keep, p)
+	a.epoch++
+	a.epochs = append(keepEp, a.epoch)
 	return true
 }
 
 // Plans returns the archived plans. Callers must not modify the slice.
 func (a *Archive) Plans() []*plan.Plan { return a.plans }
 
+// Since returns the archived plans admitted after mark (0 = everything)
+// together with the current mark for the next call. Plans evicted again
+// since their admission do not appear; see DeltaFrontier for why
+// dominance-based consumers lose nothing. Callers must not modify the
+// returned slice.
+func (a *Archive) Since(mark uint64) ([]*plan.Plan, uint64) {
+	return a.plans[cache.EpochSuffix(a.epochs, mark):], a.epoch
+}
+
 // Len returns the number of archived plans.
 func (a *Archive) Len() int { return len(a.plans) }
 
 // Reset empties the archive.
-func (a *Archive) Reset() { a.plans = a.plans[:0] }
+func (a *Archive) Reset() {
+	a.plans = a.plans[:0]
+	a.epochs = a.epochs[:0]
+	a.epoch = 0
+}
 
 // Costs extracts the cost vectors of a plan slice; the harness snapshots
 // frontiers in this form.

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+	"unsafe"
 
 	"rmq/internal/plan"
 )
@@ -68,6 +69,25 @@ type Event struct {
 // callback returns.
 func (e Event) Snapshot() []*plan.Plan { return e.snapshot() }
 
+// MergeStrategy selects how workers publish newly found plans into the
+// shared archive of a parallel run.
+type MergeStrategy uint8
+
+const (
+	// MergeDelta, the default, merges only the plans admitted to a
+	// worker's frontier since its previous merge (via the optional
+	// DeltaFrontier extension), falling back to full-frontier merging
+	// for optimizers without admission marks. The merged result is the
+	// same non-dominated cost set either way; only the per-merge work
+	// differs — O(new plans) instead of O(frontier) dominance checks
+	// under the shared lock.
+	MergeDelta MergeStrategy = iota
+	// MergeFull re-merges each worker's complete current frontier on
+	// every merge: the pre-delta behavior, kept for comparison and as a
+	// belt-and-suspenders escape hatch.
+	MergeFull
+)
+
 // RunConfig parameterizes Run.
 type RunConfig struct {
 	// Workers are the optimizer instances to drive; one worker runs
@@ -78,6 +98,8 @@ type RunConfig struct {
 	// MergeEvery is the number of steps a worker performs between
 	// merges of its frontier into the shared archive; default 1.
 	MergeEvery int
+	// Merge selects the merge strategy; default MergeDelta.
+	Merge MergeStrategy
 	// Observe, when non-nil, is invoked after every merge. Calls are
 	// serialized across workers, so the callback needs no locking of
 	// its own; it must not block for long, since it stalls the merging
@@ -93,9 +115,22 @@ type RunResult struct {
 	Elapsed    time.Duration
 }
 
+// mergeShard is one worker's deposit inbox. Each worker publishes its
+// newly found plans under its own shard lock — never under the archive
+// lock — so depositing never contends with another worker's archive
+// fold.
+type mergeShard struct {
+	mu      sync.Mutex
+	pending []*plan.Plan
+	// Pad to a cache line so adjacent workers' shard locks never share
+	// one — false sharing would re-serialize exactly the deposit traffic
+	// the per-worker inboxes exist to decouple.
+	_ [64 - (unsafe.Sizeof(sync.Mutex{})+unsafe.Sizeof([]*plan.Plan(nil)))%64]byte
+}
+
 // Run drives one or more optimizer workers until the context is
 // cancelled, every worker hits MaxIterations, or no worker has work
-// left. Workers merge their frontiers into a mutex-guarded shared
+// left. Workers merge their frontiers into a shared non-dominated
 // archive, so the result is the non-dominated union of everything any
 // worker reported. Merge moments are unspecified beyond "between steps,
 // and always once at the end" — with an observer workers merge every
@@ -104,6 +139,16 @@ type RunResult struct {
 // Optimizer contract asks for. Cancellation is the normal way to end an
 // unbounded run (anytime semantics): Run then returns the partial
 // result and a nil error, not the context's error.
+//
+// Merging is two-phase to keep the shared lock cold: a worker deposits
+// its plans (just the delta since its last merge, under MergeDelta)
+// into a per-worker inbox shard under that shard's lock, then tries to
+// fold all inboxes into the archive; if another worker is already
+// folding, it simply moves on and its deposit rides along with that
+// worker's fold. Every worker folds unconditionally once at the end,
+// and the result snapshot drains the inboxes too, so nothing is ever
+// lost. The final plan set is the same as under the old
+// one-big-lock-per-merge scheme; only contention changes.
 func Run(ctx context.Context, cfg RunConfig) (RunResult, error) {
 	if len(cfg.Workers) == 0 {
 		return RunResult{}, errors.New("opt: run needs at least one worker")
@@ -119,29 +164,71 @@ func Run(ctx context.Context, cfg RunConfig) (RunResult, error) {
 	}
 	start := time.Now()
 	var (
-		mu      sync.Mutex // guards archive
+		mu      sync.Mutex // guards archive and inbox draining
 		archive Archive
 		cbMu    sync.Mutex // serializes Observe calls
 		total   atomic.Int64
 	)
-	snapshot := func() []*plan.Plan {
-		mu.Lock()
-		defer mu.Unlock()
-		return append([]*plan.Plan(nil), archive.Plans()...)
-	}
-	runWorker := func(w Worker) {
-		w.Optimizer.Init(w.Problem, w.Seed)
-		merge := func() bool {
-			frontier := w.Optimizer.Frontier()
-			mu.Lock()
-			defer mu.Unlock()
-			improved := false
-			for _, p := range frontier {
+	shards := make([]mergeShard, len(cfg.Workers))
+	// drainLocked folds every inbox into the archive; mu must be held.
+	// Shard locks nest inside mu (deposits take only the shard lock, so
+	// the ordering is acyclic).
+	drainLocked := func() bool {
+		improved := false
+		for s := range shards {
+			sh := &shards[s]
+			sh.mu.Lock()
+			batch := sh.pending
+			sh.pending = nil
+			sh.mu.Unlock()
+			for _, p := range batch {
 				if archive.Add(p) {
 					improved = true
 				}
 			}
-			return improved
+		}
+		return improved
+	}
+	snapshot := func() []*plan.Plan {
+		mu.Lock()
+		defer mu.Unlock()
+		drainLocked()
+		return append([]*plan.Plan(nil), archive.Plans()...)
+	}
+	runWorker := func(idx int, w Worker) {
+		w.Optimizer.Init(w.Problem, w.Seed)
+		df, _ := w.Optimizer.(DeltaFrontier)
+		if cfg.Merge == MergeFull {
+			df = nil
+		}
+		var mark uint64
+		sh := &shards[idx]
+		deposit := func() {
+			var fresh []*plan.Plan
+			if df != nil {
+				fresh, mark = df.FrontierDelta(mark)
+			} else {
+				fresh = w.Optimizer.Frontier()
+			}
+			if len(fresh) == 0 {
+				return
+			}
+			// The frontier slice is only valid until the next step, but
+			// the plans themselves are immutable: copying the pointers
+			// into the inbox is all the hand-off needs.
+			sh.mu.Lock()
+			sh.pending = append(sh.pending, fresh...)
+			sh.mu.Unlock()
+		}
+		fold := func(blocking bool) (folded, improved bool) {
+			if blocking {
+				mu.Lock()
+			} else if !mu.TryLock() {
+				return false, false
+			}
+			improved = drainLocked()
+			mu.Unlock()
+			return true, improved
 		}
 		notify := func(improved bool) {
 			if cfg.Observe == nil {
@@ -171,30 +258,41 @@ func Run(ctx context.Context, cfg RunConfig) (RunResult, error) {
 				sinceMerge++
 				if sinceMerge >= mergeEvery {
 					sinceMerge = 0
-					merged = true
-					notify(merge())
+					deposit()
+					folded, improved := fold(false)
+					if folded {
+						notify(improved)
+					}
+					// A failed TryLock leaves this worker's deposit
+					// pending; only a completed fold counts as merged,
+					// so the final blocking merge below still runs and
+					// observers see the run's last improvements.
+					merged = folded
 				} else {
 					merged = false
 				}
 			}
 			return true
 		})
-		// A final merge covers the steps since the last observed one
-		// and the whole run when no observer is configured.
+		// A final blocking merge covers the steps since the last
+		// observed one — and the whole run when no observer is
+		// configured or a TryLock left deposits pending.
 		if !merged {
-			notify(merge())
+			deposit()
+			_, improved := fold(true)
+			notify(improved)
 		}
 	}
 	if len(cfg.Workers) == 1 {
-		runWorker(cfg.Workers[0])
+		runWorker(0, cfg.Workers[0])
 	} else {
 		var wg sync.WaitGroup
-		for _, w := range cfg.Workers {
+		for i, w := range cfg.Workers {
 			wg.Add(1)
-			go func(w Worker) {
+			go func(i int, w Worker) {
 				defer wg.Done()
-				runWorker(w)
-			}(w)
+				runWorker(i, w)
+			}(i, w)
 		}
 		wg.Wait()
 	}

@@ -192,6 +192,145 @@ func TestRunMergeEveryBatchesNotifications(t *testing.T) {
 	}
 }
 
+// deltaOpt wraps scriptedOpt with admission marks over an Archive, so
+// Run's delta merging path is exercised: FrontierDelta reports only the
+// plans admitted since the given mark.
+type deltaOpt struct {
+	scriptedOpt
+	archive Archive
+	calls   []int // delta sizes per FrontierDelta call
+}
+
+func (d *deltaOpt) Init(p *Problem, seed uint64) {
+	d.scriptedOpt.Init(p, seed)
+	d.archive.Reset()
+}
+
+func (d *deltaOpt) Step() bool {
+	more := d.scriptedOpt.Step()
+	for _, p := range d.script[:d.shown] {
+		d.archive.Add(p)
+	}
+	return more
+}
+
+func (d *deltaOpt) Frontier() []*plan.Plan { return d.archive.Plans() }
+
+func (d *deltaOpt) FrontierDelta(mark uint64) ([]*plan.Plan, uint64) {
+	plans, next := d.archive.Since(mark)
+	d.calls = append(d.calls, len(plans))
+	return plans, next
+}
+
+func TestArchiveSince(t *testing.T) {
+	var a Archive
+	a.Add(mk(5, 5))
+	plans, mark := a.Since(0)
+	if len(plans) != 1 || mark != 1 {
+		t.Fatalf("Since(0) = %d plans, mark %d", len(plans), mark)
+	}
+	a.Add(mk(1, 9))
+	a.Add(mk(9, 1))
+	plans, next := a.Since(mark)
+	if len(plans) != 2 || next != 3 {
+		t.Fatalf("Since(%d) = %d plans, mark %d", mark, len(plans), next)
+	}
+	// A dominating plan evicts but the epoch stays monotone.
+	a.Add(mk(0, 0))
+	plans, next = a.Since(next)
+	if len(plans) != 1 || !plans[0].Cost.Equal(cost.New(0, 0)) || next != 4 {
+		t.Fatalf("Since after eviction = %v (mark %d)", Costs(plans), next)
+	}
+	if plans, _ = a.Since(next); len(plans) != 0 {
+		t.Fatal("Since(current) not empty")
+	}
+}
+
+// TestRunDeltaMergeMatchesFull: the same scripted workers merged under
+// MergeDelta and MergeFull must yield the same non-dominated result,
+// and the delta path must actually deliver deltas (not re-report the
+// whole frontier every merge).
+func TestRunDeltaMergeMatchesFull(t *testing.T) {
+	script := plans([]float64{4, 4, 4}, []float64{1, 9, 9}, []float64{9, 1, 9}, []float64{2, 2, 2})
+	results := make(map[MergeStrategy][]cost.Vector)
+	for _, strat := range []MergeStrategy{MergeDelta, MergeFull} {
+		o := &deltaOpt{scriptedOpt: scriptedOpt{script: script}}
+		res, err := Run(context.Background(), RunConfig{
+			Workers: []Worker{{Optimizer: o, Problem: testProblem(t)}},
+			Merge:   strat,
+			Observe: func(Event) {}, // force per-step merges
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vecs := Costs(res.Plans)
+		results[strat] = vecs
+		total := 0
+		for _, n := range o.calls {
+			total += n
+		}
+		if strat == MergeDelta {
+			if len(o.calls) == 0 {
+				t.Fatal("delta strategy never called FrontierDelta")
+			}
+			// Every admitted plan is reported exactly once across deltas.
+			if total != o.archive.Len()+1 { // +1: {4,4,4} was admitted, then evicted
+				t.Errorf("delta calls delivered %d plans total, want %d", total, o.archive.Len()+1)
+			}
+		} else if len(o.calls) != 0 {
+			t.Error("MergeFull consulted FrontierDelta")
+		}
+	}
+	a, b := results[MergeDelta], results[MergeFull]
+	if len(a) != len(b) {
+		t.Fatalf("delta result %d plans, full %d", len(a), len(b))
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("results diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestRunParallelDeltaMerge drives several delta-capable workers
+// concurrently and checks the merged archive is the non-dominated union.
+func TestRunParallelDeltaMerge(t *testing.T) {
+	mkWorker := func(costs ...[]float64) Worker {
+		return Worker{
+			Optimizer: &deltaOpt{scriptedOpt: scriptedOpt{script: plans(costs...)}},
+			Problem:   testProblem(t),
+		}
+	}
+	res, err := Run(context.Background(), RunConfig{
+		Workers: []Worker{
+			mkWorker([]float64{4, 4, 4}, []float64{1, 9, 9}),
+			mkWorker([]float64{9, 9, 1}, []float64{2, 2, 2}),
+			mkWorker([]float64{5, 5, 5}, []float64{9, 1, 9}),
+		},
+		Observe: func(Event) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range res.Plans {
+		for j, b := range res.Plans {
+			if i != j && a.Cost.Dominates(b.Cost) {
+				t.Fatalf("merged archive holds dominated plan %v", b.Cost)
+			}
+		}
+	}
+	// {4,4,4} and {5,5,5} are dominated by {2,2,2}; the three one-axis
+	// specialists and {2,2,2} are mutually non-dominated.
+	if len(res.Plans) != 4 {
+		t.Fatalf("merged plans = %v, want the 4 non-dominated", Costs(res.Plans))
+	}
+	for _, p := range res.Plans {
+		if p.Cost.At(0) == 4 || p.Cost.At(0) == 5 {
+			t.Fatalf("dominated plan survived: %v", p.Cost)
+		}
+	}
+}
+
 func TestRunCancelledReturnsPartialResult(t *testing.T) {
 	p := testProblem(t)
 	ctx, cancel := context.WithCancel(context.Background())

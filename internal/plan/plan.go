@@ -201,13 +201,21 @@ func (op JoinOp) String() string {
 // inner input has the given representation; JoinOps in the pseudo-code.
 var joinOpsByInner [NumOutputProps][]JoinOp
 
+// joinOpsByInnerOut[innerOutput][opOutput] further splits the
+// applicable operators by the representation they produce, preserving
+// the relative order of joinOpsByInner. Admission pre-filters that have
+// ruled out one output representation price only the other's slice.
+var joinOpsByInnerOut [NumOutputProps][NumOutputProps][]JoinOp
+
 func init() {
 	for alg := JoinAlg(0); alg < NumJoinAlgs; alg++ {
 		for _, mat := range []bool{false, true} {
 			op := MakeJoinOp(alg, mat)
 			joinOpsByInner[Materialized] = append(joinOpsByInner[Materialized], op)
+			joinOpsByInnerOut[Materialized][op.Output()] = append(joinOpsByInnerOut[Materialized][op.Output()], op)
 			if !alg.NeedsMaterializedInner() {
 				joinOpsByInner[Pipelined] = append(joinOpsByInner[Pipelined], op)
+				joinOpsByInnerOut[Pipelined][op.Output()] = append(joinOpsByInnerOut[Pipelined][op.Output()], op)
 			}
 		}
 	}
@@ -224,6 +232,12 @@ func JoinOps(outer, inner *Plan) []JoinOp {
 // given representation. The returned slice is shared and must not be
 // modified.
 func JoinOpsFor(inner OutputProp) []JoinOp { return joinOpsByInner[inner] }
+
+// JoinOpsProducing returns the operators applicable for an inner input
+// with the given representation that produce output representation out,
+// in JoinOpsFor order. The returned slice is shared and must not be
+// modified.
+func JoinOpsProducing(inner, out OutputProp) []JoinOp { return joinOpsByInnerOut[inner][out] }
 
 // Plan is an immutable physical plan node. Scan plans have Outer == nil;
 // join plans have both children set. Plans are shared freely (the plan

@@ -66,3 +66,10 @@ func (in *Interner) SetOf(id ID) Set {
 
 // Len returns the number of interned sets.
 func (in *Interner) Len() int { return len(in.sets) - 1 }
+
+// CapHint returns the number of ids the interner has reserved storage
+// for. Side tables indexed by ID (the plan cache's bucket table, the
+// cardinality memo) size themselves from it so they grow geometrically
+// in lockstep with the interner instead of creeping up one id at a
+// time.
+func (in *Interner) CapHint() int { return cap(in.sets) }

@@ -70,3 +70,16 @@ func TestInternerSteadyStateAllocFree(t *testing.T) {
 		t.Fatalf("steady-state Intern allocates: %v allocs/run", allocs)
 	}
 }
+
+func TestCapHintGrowsWithInterner(t *testing.T) {
+	in := NewInterner()
+	if in.CapHint() < 1 {
+		t.Fatalf("CapHint = %d on fresh interner", in.CapHint())
+	}
+	for i := 0; i < 1000; i++ {
+		in.Intern(Single(i % 64).Union(Single(64 + (i/64)%64)))
+	}
+	if in.CapHint() < in.Len()+1 {
+		t.Errorf("CapHint %d below Len+1 %d", in.CapHint(), in.Len()+1)
+	}
+}

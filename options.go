@@ -23,6 +23,7 @@ type config struct {
 	algorithm     Algorithm
 	dpAlpha       float64
 	parallelism   int
+	merge         MergeStrategy
 	progress      func(Progress)
 	progressEvery int
 	onImprovement func(Progress)
@@ -132,6 +133,37 @@ func WithDPAlpha(alpha float64) Option {
 // every worker.
 func WithParallelism(n int) Option {
 	return func(c *config) { c.parallelism = n }
+}
+
+// MergeStrategy selects how parallel workers publish their results into
+// the shared archive; see the constants.
+type MergeStrategy = opt.MergeStrategy
+
+const (
+	// MergeDelta (the default) merges only the plans each worker
+	// admitted since its previous merge, and deposits them through
+	// per-worker inbox shards so workers never queue up on one archive
+	// lock. Falls back to full merging for algorithms without admission
+	// marks.
+	MergeDelta = opt.MergeDelta
+	// MergeFull re-merges each worker's complete frontier on every
+	// merge (the historical behavior). The resulting frontier is
+	// identical; only the synchronization work differs.
+	MergeFull = opt.MergeFull
+)
+
+// WithMergeStrategy overrides how parallel workers and streaming runs
+// merge into the shared result archive; default MergeDelta. The merged
+// frontier is the same under either strategy — this knob exists for
+// comparison and as an escape hatch.
+func WithMergeStrategy(s MergeStrategy) Option {
+	return func(c *config) {
+		if s != MergeDelta && s != MergeFull {
+			c.fail(fmt.Errorf("rmq: unknown merge strategy %d", s))
+			return
+		}
+		c.merge = s
+	}
 }
 
 // Progress is an anytime snapshot of a running optimization, as

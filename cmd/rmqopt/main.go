@@ -10,6 +10,15 @@
 //	rmqopt -tables 8 -algo dp -dp-alpha 1.01
 //	rmqopt -tables 100 -algo nsga2 -seed 7
 //	rmqopt -tables 100 -parallel 8 -progress -timeout 3s
+//	rmqopt -tables 24 -workload 10 -shared-cache -iters 400 -warm-iters 40
+//
+// The last form replays the query -workload times through one session
+// and prints per-run latency: with -shared-cache the session retains
+// the warmed plan cache across runs, so runs after the first return
+// frontiers at least as good as the first run's from a fraction of the
+// budget (-warm-iters) — the warm-start speedup is directly observable
+// run over run. Without -warm-iters every run spends the full budget
+// and warm runs convert it into extra precision instead of latency.
 package main
 
 import (
@@ -26,18 +35,22 @@ import (
 
 func main() {
 	var (
-		tables   = flag.Int("tables", 20, "number of tables to join")
-		graph    = flag.String("graph", "chain", "join graph shape: chain, cycle or star")
-		sel      = flag.String("sel", "steinbrunn", "selectivity model: steinbrunn or minmax")
-		metrics  = flag.Int("metrics", 3, "number of cost metrics (1-3: time, buffer, disc)")
-		algo     = flag.String("algo", "rmq", fmt.Sprintf("algorithm: %s", algoList()))
-		dpAlpha  = flag.Float64("dp-alpha", 2, "approximation factor for -algo dp")
-		timeout  = flag.Duration("timeout", time.Second, "optimization time budget")
-		iters    = flag.Int("iters", 0, "optional cap on optimizer iterations per worker (0 = none)")
-		seed     = flag.Uint64("seed", 1, "random seed for workload and optimizer")
-		parallel = flag.Int("parallel", 1, "number of parallel multi-start workers")
-		progress = flag.Bool("progress", false, "stream anytime frontier improvements to stderr")
-		plans    = flag.Bool("plans", false, "print the operator tree of every frontier plan")
+		tables    = flag.Int("tables", 20, "number of tables to join")
+		graph     = flag.String("graph", "chain", "join graph shape: chain, cycle or star")
+		sel       = flag.String("sel", "steinbrunn", "selectivity model: steinbrunn or minmax")
+		metrics   = flag.Int("metrics", 3, "number of cost metrics (1-3: time, buffer, disc)")
+		algo      = flag.String("algo", "rmq", fmt.Sprintf("algorithm: %s", algoList()))
+		dpAlpha   = flag.Float64("dp-alpha", 2, "approximation factor for -algo dp")
+		timeout   = flag.Duration("timeout", time.Second, "optimization time budget")
+		iters     = flag.Int("iters", 0, "optional cap on optimizer iterations per worker (0 = none)")
+		seed      = flag.Uint64("seed", 1, "random seed for workload and optimizer")
+		parallel  = flag.Int("parallel", 1, "number of parallel multi-start workers")
+		progress  = flag.Bool("progress", false, "stream anytime frontier improvements to stderr")
+		plans     = flag.Bool("plans", false, "print the operator tree of every frontier plan")
+		workload  = flag.Int("workload", 1, "replay the query N times through one session, printing per-run latency")
+		shared    = flag.Bool("shared-cache", false, "share the plan cache across workers and session runs (warm starts)")
+		retain    = flag.Float64("retention", 1, "shared-cache retention precision α (≥ 1; coarser retains fewer plans)")
+		warmIters = flag.Int("warm-iters", 0, "iteration cap for workload runs after the first (0 = same as -iters)")
 	)
 	flag.Parse()
 
@@ -76,10 +89,11 @@ func main() {
 
 	opts := []rmq.Option{
 		rmq.WithMetrics(all[:*metrics]...),
-		rmq.WithSeed(*seed),
 		rmq.WithAlgorithm(rmq.Algorithm(strings.ToLower(*algo))),
 		rmq.WithDPAlpha(*dpAlpha),
 		rmq.WithParallelism(*parallel),
+		rmq.WithSharedCache(*shared),
+		rmq.WithCacheRetention(*retain),
 	}
 	if *timeout > 0 {
 		opts = append(opts, rmq.WithTimeout(*timeout))
@@ -94,9 +108,39 @@ func main() {
 		}))
 	}
 
-	frontier, err := rmq.Optimize(ctx, cat, opts...)
+	sess, err := rmq.NewSession(cat, opts...)
 	if err != nil {
 		fatalf("%v", err)
+	}
+	if *workload < 1 {
+		*workload = 1
+	}
+	// Replay the query through the session; each run gets its own seed so
+	// the stream mimics independent requests for the same query. With
+	// -shared-cache, later runs warm-start from the runs before them.
+	var frontier *rmq.Frontier
+	for run := 0; run < *workload; run++ {
+		runOpts := []rmq.Option{rmq.WithSeed(*seed + uint64(run))}
+		if run > 0 && *warmIters > 0 {
+			runOpts = append(runOpts, rmq.WithMaxIterations(*warmIters))
+		}
+		start := time.Now()
+		frontier, err = sess.Optimize(ctx, runOpts...)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if *workload > 1 {
+			line := fmt.Sprintf("run %3d: %3d plans, %6d iters in %8v", run,
+				len(frontier.Plans), frontier.Iterations, time.Since(start).Round(10*time.Microsecond))
+			if *shared {
+				cs := sess.CacheStats()
+				line += fmt.Sprintf("  (cache: %d sets, %d plans)", cs.Sets, cs.Plans)
+			}
+			fmt.Println(line)
+		}
+		if ctx.Err() != nil {
+			break
+		}
 	}
 	if ctx.Err() != nil {
 		fmt.Println("\ninterrupted — reporting the frontier found so far")

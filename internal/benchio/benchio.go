@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -232,7 +233,26 @@ func Diff(old, new *Report, threshold float64) ([]Delta, bool) {
 	return deltas, regressed
 }
 
-// FormatDeltas renders a fixed-width comparison table.
+// GeomeanRatio returns the geometric mean of the deltas' ns/op ratios —
+// the single-number summary of a comparison (1.00 = no aggregate
+// change, below 1 = aggregate speedup). Non-positive ratios are skipped;
+// it returns 0 when nothing contributes.
+func GeomeanRatio(deltas []Delta) float64 {
+	logSum, n := 0.0, 0
+	for _, d := range deltas {
+		if d.Ratio > 0 {
+			logSum += math.Log(d.Ratio)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+// FormatDeltas renders a fixed-width comparison table, closed by a
+// geomean summary line.
 func FormatDeltas(deltas []Delta, threshold float64) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-52s %14s %14s %8s %9s\n", "benchmark", "old ns/op", "new ns/op", "ratio", "allocs")
@@ -243,6 +263,9 @@ func FormatDeltas(deltas []Delta, threshold float64) string {
 		}
 		fmt.Fprintf(&b, "%-52s %14.0f %14.0f %7.2fx %4.0f→%-4.0f %s\n",
 			d.Name, d.Old, d.New, d.Ratio, d.AllocsOld, d.AllocsNew, mark)
+	}
+	if gm := GeomeanRatio(deltas); gm > 0 {
+		fmt.Fprintf(&b, "geomean ns/op ratio: %.3fx over %d benchmarks\n", gm, len(deltas))
 	}
 	fmt.Fprintf(&b, "(regression threshold: ns/op ratio > %.2f)\n", 1+threshold)
 	return b.String()

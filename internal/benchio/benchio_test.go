@@ -116,6 +116,14 @@ func TestDiffFlagsRegressions(t *testing.T) {
 	if out := FormatDeltas(deltas, 0.2); !strings.Contains(out, "BenchmarkB") || !strings.Contains(out, "!!") {
 		t.Fatalf("table missing regression marker:\n%s", out)
 	}
+	// Geomean of 1.10x and 1.30x is ~1.196x; the summary line must carry
+	// it so trend dashboards can scrape one number per diff.
+	if gm := GeomeanRatio(deltas); gm < 1.19 || gm > 1.20 {
+		t.Fatalf("GeomeanRatio = %v, want ~1.196", gm)
+	}
+	if out := FormatDeltas(deltas, 0.2); !strings.Contains(out, "geomean ns/op ratio: 1.196x over 2 benchmarks") {
+		t.Fatalf("table missing geomean summary:\n%s", out)
+	}
 }
 
 func TestDiffNoRegression(t *testing.T) {

@@ -49,6 +49,20 @@
 // coarser α, and otherwise narrows recombination to the pairs involving
 // a newly admitted child plan. The same marks power delta-based merging
 // of parallel worker frontiers (see internal/opt.DeltaFrontier).
+//
+// # Concurrency model
+//
+// A Cache is single-goroutine: one optimizer run owns it and probes it
+// lock-free. Cross-worker and cross-run sharing happens through the
+// session-scoped Shared store instead: each worker keeps its private
+// Cache and exchanges admission deltas with the store between
+// iterations through a SyncState (publish what the private cache
+// admitted, pull what other workers published, warm-start by pulling
+// everything on first contact). The store is the only concurrent
+// structure — per-bucket mutexes over ordinary Buckets, with lock-free
+// epoch mirrors and a store-wide version counter so steady-state syncs
+// are a single atomic load. See shared.go for the full model and the
+// retention bound.
 package cache
 
 import (
@@ -232,6 +246,16 @@ type Bucket struct {
 	epoch  uint64   // admissions ever (evictions do not decrease it)
 	cache  *Cache
 	naive  bool
+
+	// id is the interned id of the bucket's table set (NoID for overflow
+	// buckets); shared-cache synchronization uses it to address the
+	// session store without re-interning.
+	id tableset.ID
+	// dirty marks membership on the cache's dirty list; syncMark is the
+	// admission epoch up to which the bucket's plans have been published
+	// to the session's shared cache (see SyncState in shared.go).
+	dirty    bool
+	syncMark uint64
 
 	// counts tracks the per-output frontier sizes; the admission path
 	// uses them to pick linear scan vs index without touching the index.
@@ -488,8 +512,12 @@ func (b *Bucket) Insert(newPlan *plan.Plan, alpha float64) bool {
 	b.plans = append(keep, newPlan)
 	b.epoch++
 	b.epochs = append(keepEp, b.epoch)
-	if b.cache != nil {
-		b.cache.plans += 1 - evicted
+	if c := b.cache; c != nil {
+		c.plans += 1 - evicted
+		if c.track && !b.dirty {
+			b.dirty = true
+			c.dirty = append(c.dirty, b)
+		}
 	}
 	if !b.naive {
 		out := newPlan.Output
@@ -581,6 +609,11 @@ type Cache struct {
 	// naive selects the reference linear-scan bucket implementation for
 	// differential tests and the indexing ablation benchmarks.
 	naive bool
+	// track enables dirty-bucket tracking for shared-cache publication:
+	// buckets that admit a plan enqueue themselves on dirty exactly once,
+	// so a SyncState publish touches only what changed since the last one.
+	track bool
+	dirty []*Bucket
 	sets  int
 	plans int
 }
@@ -638,6 +671,7 @@ func (c *Cache) bucketAt(id tableset.ID) *Bucket {
 	b := c.buckets[id]
 	if b == nil {
 		b = c.newBucket()
+		b.id = id
 		c.buckets[id] = b
 		c.sets++
 	}
@@ -715,6 +749,13 @@ func (c *Cache) Get(rel tableset.Set) []*plan.Plan {
 func (c *Cache) Insert(newPlan *plan.Plan, alpha float64) bool {
 	return c.BucketFor(newPlan).Insert(newPlan, alpha)
 }
+
+// TrackDirty enables dirty-bucket tracking: from now on every bucket
+// that admits a plan registers itself (once) on an internal dirty list,
+// which SyncState.Publish drains to push deltas into a session's shared
+// cache. Tracking costs one flag test per admission and is off for
+// private runs.
+func (c *Cache) TrackDirty() { c.track = true }
 
 // NumSets returns the number of distinct table sets with cached plans.
 func (c *Cache) NumSets() int { return c.sets }

@@ -1,0 +1,307 @@
+package cache
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"rmq/internal/plan"
+	"rmq/internal/tableset"
+)
+
+// Shared is a session-scoped, concurrency-safe plan cache: the frontier
+// store that lets (a) all parallel workers of one run and (b) successive
+// runs of one session share the α-approximate sub-plan frontiers that
+// the paper's cache amortizes almost all iteration work through, instead
+// of each worker and each run rebuilding them from zero.
+//
+// # Concurrency model
+//
+// A Shared never sits on any hot path directly. Each worker keeps its
+// own private Cache exactly as before (single-goroutine, unlocked,
+// allocation-free probes) and exchanges deltas with the Shared store
+// through a per-worker SyncState between iterations. Internally the
+// store is sharded per table set: every bucket carries its own mutex,
+// so publishes to different table sets never contend, and the bucket
+// table itself grows under a read-write lock that lookups take only in
+// read mode. Two lock-free monotone counters make the steady state
+// cheap: a per-bucket admission-epoch mirror lets pullers skip
+// unchanged buckets without locking them, and a store-wide version
+// counter lets a puller skip the whole scan with a single atomic load
+// when nothing was published anywhere — the 0-alloc read probe of a
+// warmed-up session.
+//
+// Bucket ids come from one shared-mode interner (tableset.
+// NewSharedInterner) that every participating cost model must be built
+// over, so plan.RelID values agree across workers and runs; table sets
+// past the interner capacity (plan.RelID == NoID) stay private to their
+// worker. Plans themselves are immutable once cached (climbed plans are
+// frozen out of the scratch arena before they escape), so passing plan
+// pointers between workers needs no copying and no further locking.
+//
+// # Retention
+//
+// Admissions into the store prune with the retention factor α given at
+// construction. Retention 1 keeps the exact per-output Pareto frontiers
+// of everything ever published (maximum warm-start fidelity); a
+// retention α > 1 keeps only α-approximate frontiers, which bounds the
+// number of retained plans per table set polynomially (Lemma 6) and so
+// bounds the session's memory growth at a controlled loss of frontier
+// detail.
+type Shared struct {
+	in     *tableset.Interner
+	retain float64
+
+	// version counts publishes that changed the store; SyncState.Pull's
+	// fast path compares it against the last pulled value.
+	version atomic.Uint64
+	// iters counts optimizer iterations performed against the store, by
+	// every worker of every attached run. The α schedule of an attached
+	// optimizer is driven by this cumulative counter rather than the
+	// worker's private one: α is the precision the cache has been refined
+	// to, so N workers pooling their work into one cache refine it N
+	// times faster, and a warmed session resumes at the precision it
+	// already reached instead of redoing the coarse passes.
+	iters atomic.Int64
+	sets  atomic.Int64
+	plans atomic.Int64
+
+	// mu guards the bucket table (growth and slot initialization), not
+	// the buckets themselves; each sharedBucket has its own lock.
+	mu      sync.RWMutex
+	buckets []*sharedBucket // indexed by tableset.ID; slot 0 unused
+}
+
+// sharedBucket is one table set's slot in the store: the ordinary
+// dominance-indexed Bucket behind a per-bucket mutex, plus a lock-free
+// mirror of its admission epoch so pullers can skip unchanged buckets
+// without taking the lock.
+type sharedBucket struct {
+	mu    sync.Mutex
+	epoch atomic.Uint64
+	b     Bucket
+}
+
+// NewShared returns an empty shared store over the given shared-mode
+// interner (it panics on a single-owner interner — sharing plans
+// requires one concurrency-safe id namespace). retain is the retention
+// precision α; values below 1 (including 0) select exact retention.
+func NewShared(in *tableset.Interner, retain float64) *Shared {
+	if in == nil || !in.Concurrent() {
+		panic("cache: NewShared needs a shared-mode interner (tableset.NewSharedInterner)")
+	}
+	if retain < 1 {
+		retain = 1
+	}
+	return &Shared{in: in, retain: retain}
+}
+
+// Interner returns the store's id authority. Cost models of every
+// worker that publishes into or pulls from the store must be built over
+// it (costmodel.NewWithInterner).
+func (s *Shared) Interner() *tableset.Interner { return s.in }
+
+// Retention returns the store's retention precision α.
+func (s *Shared) Retention() float64 { return s.retain }
+
+// Stats returns the number of table sets and plans currently retained.
+func (s *Shared) Stats() (sets, plans int) {
+	return int(s.sets.Load()), int(s.plans.Load())
+}
+
+// NextIteration advances and returns the store's cumulative iteration
+// counter. Attached optimizers call it once per step and feed the
+// result to their precision schedule, so the α driving admissions
+// reflects the total work ever invested in the store's frontiers.
+func (s *Shared) NextIteration() int { return int(s.iters.Add(1)) }
+
+// Iterations returns the cumulative iteration count.
+func (s *Shared) Iterations() int { return int(s.iters.Load()) }
+
+// bucketAt returns the shared bucket for id, creating it if absent. The
+// table grows geometrically, seeded from the interner's reserved
+// capacity, mirroring Cache.bucketAt.
+func (s *Shared) bucketAt(id tableset.ID) *sharedBucket {
+	s.mu.RLock()
+	var sb *sharedBucket
+	if int(id) < len(s.buckets) {
+		sb = s.buckets[id]
+	}
+	s.mu.RUnlock()
+	if sb != nil {
+		return sb
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int(id) >= len(s.buckets) {
+		size := 2 * len(s.buckets)
+		if hint := s.in.CapHint(); size < hint {
+			size = hint
+		}
+		if size < int(id)+1 {
+			size = int(id) + 1
+		}
+		grown := make([]*sharedBucket, size)
+		copy(grown, s.buckets)
+		s.buckets = grown
+	}
+	sb = s.buckets[id]
+	if sb == nil {
+		sb = &sharedBucket{}
+		sb.b.id = id
+		s.buckets[id] = sb
+		s.sets.Add(1)
+	}
+	return sb
+}
+
+// SyncState is one worker's handle on a Shared store. It remembers, per
+// shared bucket, how far the worker has pulled and rides the private
+// cache's own admission epochs for publishing, so both directions of a
+// sync move only deltas. A SyncState belongs to exactly one goroutine
+// (like the private cache it syncs); the Shared store it points at is
+// the concurrency-safe rendezvous.
+type SyncState struct {
+	shared  *Shared
+	seen    uint64          // Shared.version at the end of the last Pull
+	pulled  []uint64        // per shared-bucket id: admission mark already imported
+	changed []*sharedBucket // scratch for the changed-bucket scan
+	buf     []*plan.Plan    // scratch for copying deltas out of locked buckets
+}
+
+// NewSync returns a fresh sync handle on the store. A handle whose
+// marks are all zero pulls the store's entire contents on its first
+// Pull — the session warm start.
+func (s *Shared) NewSync() *SyncState { return &SyncState{shared: s} }
+
+// Publish pushes every plan admitted to c since the previous Publish
+// into the shared store, walking only c's dirty buckets. Plans of
+// overflow buckets (table sets without an interned id) stay private.
+// It reports the number of plans the store admitted.
+//
+// Plans this worker publishes are excluded from its own future Pulls
+// when no other worker's plans interleaved in the same bucket, so a
+// solitary worker's sync loop is a pair of no-ops in the steady state.
+func (st *SyncState) Publish(c *Cache) (published int) {
+	if len(c.dirty) == 0 {
+		return 0
+	}
+	sh := st.shared
+	for _, b := range c.dirty {
+		b.dirty = false
+		fresh := b.Since(b.syncMark)
+		b.syncMark = b.epoch
+		if len(fresh) == 0 || b.id == tableset.NoID {
+			continue
+		}
+		sb := sh.bucketAt(b.id)
+		sb.mu.Lock()
+		before := sb.b.epoch
+		n0 := len(sb.b.plans)
+		for _, p := range fresh {
+			sb.b.Insert(p, sh.retain)
+		}
+		after := sb.b.epoch
+		grew := len(sb.b.plans) - n0
+		sb.epoch.Store(after)
+		sb.mu.Unlock()
+		if after == before {
+			continue
+		}
+		published += int(after - before)
+		sh.plans.Add(int64(grew))
+		// Advancing the version strictly after the bucket's epoch mirror
+		// means a puller that observes the new version also observes the
+		// bucket change (atomic operations are totally ordered). When our
+		// own bump is the only one since this worker's last Pull, absorb
+		// it into the seen mark — otherwise every solitary publish would
+		// defeat Pull's single-atomic-load fast path and trigger a full
+		// no-op table scan (version is add-only, so the check is exact).
+		if nv := sh.version.Add(1); nv == st.seen+1 {
+			st.seen = nv
+		}
+		// What this worker just published it need not pull back; the
+		// mark advance is exact only when its pull mark sat at the
+		// pre-publish epoch (no other worker interleaved unseen plans).
+		st.grow(int(b.id) + 1)
+		if st.pulled[b.id] == before {
+			st.pulled[b.id] = after
+		}
+	}
+	c.dirty = c.dirty[:0]
+	return published
+}
+
+// Pull imports every plan published to the store since the previous
+// Pull into c, at exact precision (α = 1: only dominated candidates are
+// rejected), and reports how many were admitted. On a fresh SyncState
+// this imports the whole store — the warm start that hands a new run
+// the session's accumulated sub-plan frontiers before its first
+// iteration.
+//
+// The steady-state fast path is a single atomic load: when nothing was
+// published since the last Pull, it returns without scanning, locking
+// or allocating.
+func (st *SyncState) Pull(c *Cache) (imported int) {
+	sh := st.shared
+	v := sh.version.Load()
+	if v == st.seen {
+		return 0
+	}
+	// Publishes that land during the scan below may or may not be seen;
+	// recording the pre-scan version means the next Pull rescans anything
+	// that could have been missed, and the per-bucket marks make rescans
+	// exact.
+	st.seen = v
+	// Collect the changed buckets under the table read lock — slot
+	// initialization writes into the live backing array under the write
+	// lock, so lock-free iteration would race — then import without
+	// holding it. The epoch mirrors keep unchanged buckets unlocked.
+	sh.mu.RLock()
+	st.grow(len(sh.buckets))
+	st.changed = st.changed[:0]
+	for id := 1; id < len(sh.buckets); id++ {
+		if sb := sh.buckets[id]; sb != nil && sb.epoch.Load() != st.pulled[id] {
+			st.changed = append(st.changed, sb)
+		}
+	}
+	sh.mu.RUnlock()
+	for _, sb := range st.changed {
+		id := sb.b.id // written once at creation, before the slot was published
+		sb.mu.Lock()
+		st.buf = append(st.buf[:0], sb.b.Since(st.pulled[id])...)
+		st.pulled[id] = sb.b.epoch
+		sb.mu.Unlock()
+		if len(st.buf) == 0 {
+			continue
+		}
+		pb := c.bucketAt(id)
+		unpublished := pb.syncMark != pb.epoch
+		for _, p := range st.buf {
+			if pb.Insert(p, 1) {
+				imported++
+			}
+		}
+		// Everything just imported is already in the store, so advance
+		// the publish mark past it — unless the bucket held plans not yet
+		// published, which must not be skipped over.
+		if !unpublished {
+			pb.syncMark = pb.epoch
+		}
+	}
+	return imported
+}
+
+// Sync is one full exchange: publish this worker's new plans, then pull
+// everyone else's. Optimizers call it between iterations.
+func (st *SyncState) Sync(c *Cache) (published, imported int) {
+	published = st.Publish(c)
+	imported = st.Pull(c)
+	return published, imported
+}
+
+// grow widens the pulled-mark table to at least n entries.
+func (st *SyncState) grow(n int) {
+	if len(st.pulled) < n {
+		st.pulled = append(st.pulled, make([]uint64, n-len(st.pulled))...)
+	}
+}

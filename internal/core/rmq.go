@@ -40,6 +40,18 @@ type Config struct {
 	// and archives only the locally optimal plans — this degenerates RMQ
 	// into plain iterative improvement and is used by ablation tests.
 	DisableFrontier bool
+	// Shared, when non-nil, attaches the run to a session-scoped
+	// concurrent plan cache: the worker warm-starts its private cache
+	// from the store at Init and exchanges newly admitted sub-plan
+	// frontier deltas with it after every iteration, so parallel workers
+	// and successive runs of a session share discoveries instead of
+	// rebuilding identical frontiers. Requires the problem's cost model
+	// to be built over the store's interner (a mismatched store is
+	// ignored and the run proceeds privately). Sharing changes the
+	// iteration trajectory — the cache sees plans the private schedule
+	// alone would not have found — so it is off by default; the
+	// cache-ablation configurations disable it implicitly.
+	Shared *cache.Shared
 }
 
 // Stats exposes per-run statistics of interest to the evaluation
@@ -65,7 +77,8 @@ type RMQ struct {
 	rng     *rand.Rand
 	climber *Climber
 	cache   *cache.Cache
-	archive opt.Archive // used only when DisableCache/DisableFrontier
+	sync    *cache.SyncState // non-nil only when attached to a shared store
+	archive opt.Archive      // used only when DisableCache/DisableFrontier
 	iter    int
 	stats   Stats
 }
@@ -81,8 +94,8 @@ func Factory() opt.Factory {
 }
 
 func init() {
-	opt.Register("rmq", func(opt.Spec) (opt.Optimizer, error) {
-		return New(Config{}), nil
+	opt.Register("rmq", func(s opt.Spec) (opt.Optimizer, error) {
+		return New(Config{Shared: s.SharedCache}), nil
 	})
 }
 
@@ -96,10 +109,43 @@ func (r *RMQ) Init(p *opt.Problem, seed uint64) {
 	climbCfg := r.cfg.Climb
 	climbCfg.Space = r.cfg.Space
 	r.climber = NewClimber(p.Model, climbCfg)
-	r.cache = cache.New(p.Model.Interner(), r.cacheOptions()...)
+	r.sync = nil
+	shared := r.cfg.Shared
+	if shared != nil && shared.Interner() == p.Model.Interner() &&
+		!r.cfg.DisableCache && !r.cfg.DisableFrontier && !r.cfg.NaiveCache {
+		// Warm start from the session store. A problem pooled by a
+		// session carries the previous run's private cache and sync
+		// marks (opt.Problem.Retained): reusing them turns the warm
+		// start into a delta pull — everything this problem's earlier
+		// runs saw is still cached, including the incremental
+		// recombination memo, so repeat visits skip. A fresh problem
+		// imports the whole store once instead.
+		if rc, ok := p.Retained.(*retainedCache); ok && rc.shared == shared {
+			r.cache, r.sync = rc.cache, rc.sync
+		} else {
+			r.cache = cache.New(p.Model.Interner())
+			r.cache.TrackDirty()
+			r.sync = shared.NewSync()
+			p.Retained = &retainedCache{shared: shared, cache: r.cache, sync: r.sync}
+		}
+		r.sync.Pull(r.cache)
+	} else {
+		r.cache = cache.New(p.Model.Interner(), r.cacheOptions()...)
+	}
 	r.archive.Reset()
 	r.iter = 0
 	r.stats = Stats{}
+}
+
+// retainedCache is the state RMQ stashes in a pooled problem between
+// shared-cache runs: the warmed private cache plus the sync marks that
+// make the next run's warm start incremental. It is only reused when
+// the session store matches (the store's identity implies the interner
+// and metric subset match too).
+type retainedCache struct {
+	shared *cache.Shared
+	cache  *cache.Cache
+	sync   *cache.SyncState
 }
 
 // Step runs one iteration of the main loop (Algorithm 1) and always
@@ -122,10 +168,18 @@ func (r *RMQ) Step() bool {
 	r.stats.PathLengths = append(r.stats.PathLengths, steps)
 
 	// Approximate the Pareto frontiers of the plan's intermediate
-	// results with the iteration-dependent precision.
-	alpha := DefaultAlpha(r.iter)
+	// results with the iteration-dependent precision. Attached to a
+	// shared store, the schedule runs on the store's cumulative counter:
+	// the cache is refined by everyone's work, so its precision reflects
+	// everyone's work (a solitary first run sees identical values, since
+	// only its own steps advance the counter).
+	schedIter := r.iter
+	if r.sync != nil {
+		schedIter = r.cfg.Shared.NextIteration()
+	}
+	alpha := DefaultAlpha(schedIter)
 	if r.cfg.Alpha != nil {
-		alpha = r.cfg.Alpha(r.iter)
+		alpha = r.cfg.Alpha(schedIter)
 	}
 	incremental := !r.cfg.DisableIncremental
 	switch {
@@ -145,6 +199,14 @@ func (r *RMQ) Step() bool {
 		}
 	default:
 		approximateFrontiers(m, optPlan, r.cache, alpha, incremental)
+	}
+
+	if r.sync != nil {
+		// Publish this iteration's admissions to the session store and
+		// import what other workers found; both directions move only
+		// deltas, and the pull is a single atomic load when nothing is
+		// new (see cache.SyncState).
+		r.sync.Sync(r.cache)
 	}
 
 	r.stats.Iterations = r.iter

@@ -104,14 +104,28 @@ type Model struct {
 // New builds a model over the catalog with the given metric subset (the
 // paper's l = len(metrics) cost metrics).
 func New(cat *catalog.Catalog, metrics []Metric) *Model {
+	return NewWithInterner(cat, metrics, nil)
+}
+
+// NewWithInterner is New with an externally owned table-set interner; a
+// nil interner gives the model a private one. Sessions that share one
+// plan cache across workers and runs build every participating model
+// over the same shared-mode interner (tableset.NewSharedInterner), so
+// the interned ids carried by the models' plans (plan.RelID) agree with
+// the shared cache's bucket indices. The model itself stays
+// single-goroutine either way — only the interner is shared.
+func NewWithInterner(cat *catalog.Catalog, metrics []Metric, in *tableset.Interner) *Model {
 	if len(metrics) == 0 {
 		panic("costmodel: need at least one metric")
+	}
+	if in == nil {
+		in = tableset.NewInterner()
 	}
 	ms := append([]Metric(nil), metrics...)
 	m := &Model{
 		est:     catalog.NewEstimator(cat),
 		metrics: ms,
-		in:      tableset.NewInterner(),
+		in:      in,
 		ti:      -1,
 		bi:      -1,
 		di:      -1,

@@ -22,13 +22,31 @@ import (
 type Problem struct {
 	Model *costmodel.Model
 	Query tableset.Set
+	// Retained is optimizer-owned state that rides along when a session
+	// pools the problem across runs (e.g. RMQ's warmed private plan
+	// cache and its shared-store sync marks, so a warm start is a delta
+	// pull instead of an O(store) import). Optimizers must validate that
+	// retained state is their own and still compatible before reusing
+	// it, and must ignore it otherwise; it is never shared between
+	// concurrent runs because a problem is borrowed by one worker at a
+	// time.
+	Retained any
 }
 
 // NewProblem builds the optimization problem for joining all tables of
 // the catalog under the given cost metrics.
 func NewProblem(cat *catalog.Catalog, metrics []costmodel.Metric) *Problem {
+	return NewProblemWithInterner(cat, metrics, nil)
+}
+
+// NewProblemWithInterner is NewProblem with an externally owned
+// table-set interner (nil for a private one). Runs that publish into a
+// session-scoped shared plan cache build their problems over the
+// cache's shared-mode interner so plan ids agree across workers; see
+// cache.Shared.
+func NewProblemWithInterner(cat *catalog.Catalog, metrics []costmodel.Metric, in *tableset.Interner) *Problem {
 	return &Problem{
-		Model: costmodel.New(cat, metrics),
+		Model: costmodel.NewWithInterner(cat, metrics, in),
 		Query: cat.AllTables(),
 	}
 }

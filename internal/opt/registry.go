@@ -5,6 +5,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"rmq/internal/cache"
 )
 
 // Spec carries the per-run knobs an algorithm factory may consult when
@@ -15,6 +17,12 @@ type Spec struct {
 	// DPAlpha is the approximation factor for the dynamic-programming
 	// scheme; 0 selects the algorithm's default.
 	DPAlpha float64
+	// SharedCache, when non-nil, is the session-scoped concurrent plan
+	// cache the run's workers publish their sub-plan frontiers into and
+	// warm-start from. The worker's problem must be built over the
+	// cache's interner (NewProblemWithInterner). Algorithms without a
+	// sub-plan cache ignore it.
+	SharedCache *cache.Shared
 }
 
 // AlgorithmFactory constructs a fresh, uninitialized optimizer instance

@@ -24,6 +24,8 @@ type config struct {
 	dpAlpha       float64
 	parallelism   int
 	merge         MergeStrategy
+	sharedCache   bool
+	retention     float64
 	progress      func(Progress)
 	progressEvery int
 	onImprovement func(Progress)
@@ -66,6 +68,9 @@ func resolveConfig(layers ...[]Option) (config, error) {
 	}
 	if c.parallelism <= 0 {
 		c.parallelism = 1
+	}
+	if c.retention < 1 {
+		c.retention = 1
 	}
 	return c, nil
 }
@@ -133,6 +138,51 @@ func WithDPAlpha(alpha float64) Option {
 // every worker.
 func WithParallelism(n int) Option {
 	return func(c *config) { c.parallelism = n }
+}
+
+// WithSharedCache shares the plan cache — the per-table-set Pareto
+// frontiers of sub-plans that RMQ amortizes its iterations through —
+// across the parallel workers of a run and across the Optimize calls of
+// a Session. All workers publish newly found sub-plan frontiers into
+// one session-scoped concurrent store and warm-start from it, so a
+// session serving repeated or overlapping queries skips the cold-start
+// frontier building on every call after the first, and N parallel
+// workers pay the cold start once instead of N times.
+//
+// Sharing is off by default because it changes iteration trajectories:
+// a worker's cache sees plans that its private schedule alone would not
+// have found, so runs with equal seeds are no longer bit-identical to
+// private-cache runs (results remain valid Pareto approximations, and
+// at equal budgets the shared-cache frontier is empirically no worse —
+// see the differential quality tests). The store retains every
+// published plan that survives pruning at the retention precision; see
+// WithCacheRetention for bounding memory growth. Only algorithms with a
+// sub-plan cache (AlgoRMQ) consult the store; others ignore it.
+func WithSharedCache(enabled bool) Option {
+	return func(c *config) { c.sharedCache = enabled }
+}
+
+// WithCacheRetention sets the precision α ≥ 1 at which a session's
+// shared plan cache (WithSharedCache) retains published frontiers.
+// Retention 1 — the default — keeps the exact non-dominated union of
+// every frontier ever published: maximum warm-start fidelity, memory
+// growing as workers and runs accumulate diverse trade-offs. A
+// retention α > 1 keeps only α-approximate frontiers, which bounds the
+// retained plans per table set polynomially (the paper's Lemma 6) and
+// trades a bounded loss of frontier detail for firmly bounded memory.
+// Plan costs span orders of magnitude under this cost model, so
+// pruning has teeth from α ≈ 2 upward (α = 2 roughly quarters a
+// long-lived session's store). The retention of a session's store is
+// fixed by the first run that creates it (per metric subset); later
+// runs reuse the store as-is.
+func WithCacheRetention(alpha float64) Option {
+	return func(c *config) {
+		if alpha < 1 {
+			c.fail(fmt.Errorf("rmq: cache retention %v below 1", alpha))
+			return
+		}
+		c.retention = alpha
+	}
 }
 
 // MergeStrategy selects how parallel workers publish their results into

@@ -1,0 +1,6 @@
+//go:build !race
+
+package rmq_test
+
+// raceEnabled mirrors race_enabled_test.go for regular builds.
+const raceEnabled = false

@@ -1,0 +1,10 @@
+//go:build race
+
+package rmq_test
+
+// raceEnabled reports that the race detector is active; the heavyweight
+// quality differentials skip themselves then — they assert frontier
+// quality, not synchronization, and the detector's ~10x slowdown would
+// dominate the race job (the concurrency surface is covered by the
+// dedicated stress tests, which do run under -race).
+const raceEnabled = true

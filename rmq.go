@@ -46,6 +46,14 @@
 //	...
 //	frontier, err := sess.Optimize(ctx, rmq.WithSeed(1))
 //
+// Sessions serving sustained traffic should additionally enable
+// WithSharedCache: the session then retains the plan cache — the
+// sub-plan Pareto frontiers nearly all iteration work is answered from
+// once warm — across Optimize calls and shares it among the parallel
+// workers of each run, so repeated and overlapping queries warm-start
+// at a fraction of the cold cost (WithCacheRetention bounds the
+// retained memory).
+//
 // Algorithms beyond the built-in seven can be plugged in through
 // RegisterAlgorithm. See the examples directory for complete programs and
 // internal/harness for the reproduction of the paper's experiments.
@@ -62,6 +70,7 @@ import (
 	"strings"
 	"time"
 
+	"rmq/internal/cache"
 	"rmq/internal/catalog"
 	"rmq/internal/cost"
 	"rmq/internal/costmodel"
@@ -186,12 +195,14 @@ func Optimize(ctx context.Context, cat *Catalog, opts ...Option) (*Frontier, err
 
 // newOptimizer constructs a fresh optimizer instance for one worker of a
 // run from the resolved configuration, via the algorithm registry.
-func newOptimizer(cfg config) (opt.Optimizer, error) {
+// shared, when non-nil, is the session's concurrent plan cache the
+// worker should publish into and warm-start from (see WithSharedCache).
+func newOptimizer(cfg config, shared *cache.Shared) (opt.Optimizer, error) {
 	name := cfg.algorithm
 	if name == "" {
 		name = AlgoRMQ
 	}
-	o, err := opt.NewNamed(string(name), opt.Spec{DPAlpha: cfg.dpAlpha})
+	o, err := opt.NewNamed(string(name), opt.Spec{DPAlpha: cfg.dpAlpha, SharedCache: shared})
 	if err != nil {
 		return nil, fmt.Errorf("rmq: %w", err)
 	}

@@ -6,13 +6,20 @@ import (
 	"sync"
 	"time"
 
+	"rmq/internal/cache"
 	"rmq/internal/opt"
+	"rmq/internal/tableset"
 )
 
 // Session binds a catalog and default options for repeated optimization
 // of queries against the same database. Sessions reuse cost-model state
 // across runs: the memoized cardinality estimates of earlier runs warm
-// later ones, so repeated Optimize calls skip re-setup. A Session is
+// later ones, so repeated Optimize calls skip re-setup. With
+// WithSharedCache, a session additionally retains the plan cache — the
+// α-approximate sub-plan frontiers that almost all of an iteration's
+// work is answered from once warm — across runs and shares it among the
+// parallel workers of each run, so repeated and overlapping queries
+// warm-start instead of relearning identical frontiers. A Session is
 // safe for concurrent use; concurrent runs and parallel workers each
 // borrow their own problem instance from an internal pool (the
 // underlying cost model is not concurrency-safe).
@@ -20,8 +27,24 @@ type Session struct {
 	cat      *Catalog
 	defaults []Option
 
-	mu   sync.Mutex
-	pool map[string][]*opt.Problem
+	mu sync.Mutex
+	// pool holds warmed problem instances, keyed by everything that makes
+	// a problem compatible with a run: the metric subset AND whether the
+	// problem's cost model was built over the session's shared-cache
+	// interner. Problems warmed under one key must never be handed to a
+	// run resolving to another — a private-interner problem inside a
+	// shared-cache run would assign plan ids from a foreign namespace.
+	pool map[poolKey][]*opt.Problem
+	// shared holds the session's retained plan caches, one per metric
+	// subset (cost vectors of different dimensionality are incomparable).
+	// Created lazily by the first run that enables sharing.
+	shared map[string]*cache.Shared
+}
+
+// poolKey identifies a compatibility class of pooled problem instances.
+type poolKey struct {
+	metrics string
+	shared  bool
 }
 
 // NewSession creates a session over the catalog. The given options
@@ -37,18 +60,64 @@ func NewSession(cat *Catalog, defaults ...Option) (*Session, error) {
 	}
 	// Probe the algorithm factory so a misconfigured default (unknown
 	// algorithm, bad DPAlpha) fails at session setup, not per query.
-	if _, err := newOptimizer(cfg); err != nil {
+	if _, err := newOptimizer(cfg, nil); err != nil {
 		return nil, err
 	}
 	return &Session{
 		cat:      cat,
 		defaults: append([]Option(nil), defaults...),
-		pool:     make(map[string][]*opt.Problem),
+		pool:     make(map[poolKey][]*opt.Problem),
 	}, nil
 }
 
 // Catalog returns the session's catalog.
 func (s *Session) Catalog() *Catalog { return s.cat }
+
+// CacheStats describes the session's retained shared plan cache (see
+// WithSharedCache): how many table sets have cached frontiers and how
+// many plans they hold in total, summed over the metric subsets the
+// session has optimized under. Both are zero when no run has enabled
+// sharing.
+type CacheStats struct {
+	// Sets is the number of distinct table sets with retained frontiers.
+	Sets int
+	// Plans is the total number of retained sub-plans.
+	Plans int
+}
+
+// CacheStats reports the current size of the session's shared plan
+// cache. Its growth is bounded by the retention precision (see
+// WithCacheRetention).
+func (s *Session) CacheStats() CacheStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var cs CacheStats
+	for _, sh := range s.shared {
+		sets, plans := sh.Stats()
+		cs.Sets += sets
+		cs.Plans += plans
+	}
+	return cs
+}
+
+// sharedCache returns the session's shared plan cache for the metric
+// subset, creating it (and its shared-mode interner) on first use. The
+// retention precision is fixed by the creating run's configuration;
+// later runs reuse the store as-is.
+func (s *Session) sharedCache(cfg config) *cache.Shared {
+	key := metricsKey(cfg.metrics)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sh := s.shared[key]
+	if sh == nil {
+		sh = cache.NewShared(tableset.NewSharedInterner(), cfg.retention)
+		if s.shared == nil {
+			s.shared = make(map[string]*cache.Shared)
+		}
+		s.shared[key] = sh
+	}
+	return sh
+}
 
 // Optimize computes an approximation of the Pareto plan set for joining
 // all tables of the session's catalog, under the session defaults plus
@@ -63,11 +132,15 @@ func (s *Session) Optimize(ctx context.Context, opts ...Option) (*Frontier, erro
 		return nil, err
 	}
 
-	problems := s.acquire(cfg.metrics, cfg.parallelism)
-	defer s.release(cfg.metrics, problems)
+	var shared *cache.Shared
+	if cfg.sharedCache {
+		shared = s.sharedCache(cfg)
+	}
+	problems := s.acquire(cfg.metrics, cfg.parallelism, shared)
+	defer s.release(cfg.metrics, shared, problems)
 	workers := make([]opt.Worker, cfg.parallelism)
 	for i := range workers {
-		o, err := newOptimizer(cfg)
+		o, err := newOptimizer(cfg, shared)
 		if err != nil {
 			return nil, err
 		}
@@ -132,11 +205,13 @@ func metricsKey(metrics []Metric) string {
 	return string(key)
 }
 
-// acquire takes n problem instances for the metric subset from the
-// pool, creating the shortfall. Each borrowed problem is used by exactly
-// one worker at a time.
-func (s *Session) acquire(metrics []Metric, n int) []*opt.Problem {
-	key := metricsKey(metrics)
+// acquire takes n problem instances compatible with the run (metric
+// subset and shared-cache binding) from the pool, creating the
+// shortfall. Each borrowed problem is used by exactly one worker at a
+// time; shared-cache problems are built over the store's interner so
+// their plan ids live in the session-wide namespace.
+func (s *Session) acquire(metrics []Metric, n int, shared *cache.Shared) []*opt.Problem {
+	key := poolKey{metricsKey(metrics), shared != nil}
 	s.mu.Lock()
 	free := s.pool[key]
 	take := min(n, len(free))
@@ -144,15 +219,20 @@ func (s *Session) acquire(metrics []Metric, n int) []*opt.Problem {
 	s.pool[key] = free[:len(free)-take]
 	s.mu.Unlock()
 	for len(got) < n {
-		got = append(got, opt.NewProblem(s.cat, metrics))
+		if shared != nil {
+			got = append(got, opt.NewProblemWithInterner(s.cat, metrics, shared.Interner()))
+		} else {
+			got = append(got, opt.NewProblem(s.cat, metrics))
+		}
 	}
 	return got
 }
 
 // release returns borrowed problem instances to the pool, warmed by the
-// run that used them.
-func (s *Session) release(metrics []Metric, problems []*opt.Problem) {
-	key := metricsKey(metrics)
+// run that used them, under the same compatibility key they were
+// acquired with.
+func (s *Session) release(metrics []Metric, shared *cache.Shared, problems []*opt.Problem) {
+	key := poolKey{metricsKey(metrics), shared != nil}
 	s.mu.Lock()
 	s.pool[key] = append(s.pool[key], problems...)
 	s.mu.Unlock()

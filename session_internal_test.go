@@ -1,0 +1,128 @@
+// In-package session tests: the problem pool's compatibility keying,
+// which external tests cannot observe.
+package rmq
+
+import (
+	"context"
+	"testing"
+
+	"rmq/internal/costmodel"
+)
+
+// TestProblemPoolKeyedBySharedCacheBinding is the regression test for
+// the pool-keying bug: problems were pooled under the metric subset
+// alone, so an instance warmed under one option set could be handed to
+// an incompatible run. Concretely, a private-interner problem recycled
+// into a shared-cache run carries plan ids from a foreign namespace —
+// the optimizer then detects the mismatch and silently degrades to a
+// private cache, losing the warm start the caller asked for. The pool
+// key now includes the shared-cache binding; this test pins that the
+// two problem populations never mix and that shared-run problems are
+// built over the session store's interner.
+func TestProblemPoolKeyedBySharedCacheBinding(t *testing.T) {
+	cat := GenerateCatalog(WorkloadSpec{Tables: 6, Graph: Chain}, 1)
+	s, err := NewSession(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// Warm the pool with a private run, then run shared, then private
+	// again — under the old keying the second run would have been handed
+	// the first run's private-interner problem.
+	if _, err := s.Optimize(ctx, WithMaxIterations(4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Optimize(ctx, WithSharedCache(true), WithMaxIterations(4), WithParallelism(2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Optimize(ctx, WithMaxIterations(4)); err != nil {
+		t.Fatal(err)
+	}
+
+	key := metricsKey(costmodel.AllMetrics())
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	store := s.shared[key]
+	if store == nil {
+		t.Fatal("shared run created no session store")
+	}
+	private := s.pool[poolKey{key, false}]
+	shared := s.pool[poolKey{key, true}]
+	if len(private) == 0 || len(shared) == 0 {
+		t.Fatalf("pool populations: %d private, %d shared — both runs must pool separately",
+			len(private), len(shared))
+	}
+	for _, p := range private {
+		if p.Model.Interner() == store.Interner() {
+			t.Fatal("private pool holds a shared-interner problem")
+		}
+		if p.Model.Interner().Concurrent() {
+			t.Fatal("private pool holds a concurrent-interner problem")
+		}
+	}
+	for _, p := range shared {
+		if p.Model.Interner() != store.Interner() {
+			t.Fatal("shared pool holds a problem not bound to the session store's interner")
+		}
+	}
+}
+
+// TestSharedStorePerMetricSubset pins that metric subsets get disjoint
+// stores (cost vectors of different dimensionality are incomparable)
+// and that CacheStats aggregates across them.
+func TestSharedStorePerMetricSubset(t *testing.T) {
+	cat := GenerateCatalog(WorkloadSpec{Tables: 6, Graph: Chain}, 1)
+	s, err := NewSession(cat, WithSharedCache(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := s.Optimize(ctx, WithMaxIterations(10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Optimize(ctx, WithMetrics(MetricTime, MetricBuffer), WithMaxIterations(10)); err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	n := len(s.shared)
+	s.mu.Unlock()
+	if n != 2 {
+		t.Fatalf("session holds %d stores, want 2 (one per metric subset)", n)
+	}
+	cs := s.CacheStats()
+	s.mu.Lock()
+	sum := 0
+	for _, sh := range s.shared {
+		_, plans := sh.Stats()
+		sum += plans
+	}
+	s.mu.Unlock()
+	if cs.Plans != sum || cs.Plans == 0 {
+		t.Fatalf("CacheStats.Plans = %d, want sum over stores %d > 0", cs.Plans, sum)
+	}
+}
+
+// TestSharedStoreRetentionFixedByFirstRun documents that the retention
+// precision of a metric subset's store is fixed by the run that creates
+// it.
+func TestSharedStoreRetentionFixedByFirstRun(t *testing.T) {
+	cat := GenerateCatalog(WorkloadSpec{Tables: 6, Graph: Chain}, 1)
+	s, err := NewSession(cat, WithSharedCache(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := s.Optimize(ctx, WithCacheRetention(2), WithMaxIterations(4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Optimize(ctx, WithCacheRetention(4), WithMaxIterations(4)); err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, sh := range s.shared {
+		if got := sh.Retention(); got != 2 {
+			t.Fatalf("store retention = %v, want 2 (fixed by the creating run)", got)
+		}
+	}
+}

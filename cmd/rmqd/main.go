@@ -1,0 +1,106 @@
+// Command rmqd serves multi-objective query optimization over
+// HTTP/JSON: register catalogs, then optimize against them with
+// per-request deadlines, iteration budgets, metric subsets, and
+// optional streamed anytime snapshots. Each registered catalog is
+// backed by one long-lived session with the shared plan cache enabled
+// by default, so repeated queries warm-start.
+//
+//	rmqd -addr :8080
+//
+//	curl -s -X POST localhost:8080/catalogs \
+//	    -d '{"generate":{"tables":20,"graph":"chain","seed":1}}'
+//	curl -s -X POST localhost:8080/optimize \
+//	    -d '{"catalog":"c1","timeout_ms":200,"metrics":["time","buffer"]}'
+//	curl -s localhost:8080/stats
+//
+// Requests beyond -max-in-flight are rejected with 429 (backpressure
+// beats queueing into the deadline); SIGTERM/SIGINT drain in-flight
+// requests for up to -shutdown-grace before the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rmq"
+	"rmq/internal/server"
+)
+
+func main() {
+	var (
+		addr           = flag.String("addr", ":8080", "listen address")
+		maxInFlight    = flag.Int("max-in-flight", 0, "admitted concurrent /optimize requests; beyond it 429 (0 = 2×GOMAXPROCS)")
+		defaultTimeout = flag.Duration("default-timeout", 500*time.Millisecond, "optimization budget when a request names neither timeout_ms nor max_iterations")
+		maxTimeout     = flag.Duration("max-timeout", 30*time.Second, "cap on any request budget (also bounds shutdown drain)")
+		maxParallel    = flag.Int("max-parallelism", 0, "cap on per-request multi-start parallelism (0 = max(8, 4×GOMAXPROCS))")
+		poolLimit      = flag.Int("pool-limit", -1, "per-catalog cap on pooled warmed problem instances (-1 = adaptive)")
+		retention      = flag.Float64("retention", 0, "default shared-cache retention α for catalogs that do not set one (0 = exact)")
+		grace          = flag.Duration("shutdown-grace", 15*time.Second, "how long SIGTERM waits for in-flight requests before closing")
+		quiet          = flag.Bool("quiet", false, "suppress per-event logging")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "rmqd: ", log.LstdFlags)
+	cfg := server.Config{
+		MaxInFlight:      *maxInFlight,
+		DefaultTimeout:   *defaultTimeout,
+		MaxTimeout:       *maxTimeout,
+		MaxParallelism:   *maxParallel,
+		DefaultRetention: *retention,
+	}
+	if !*quiet {
+		cfg.Logf = logger.Printf
+	}
+	if *poolLimit >= 0 {
+		cfg.SessionOptions = append(cfg.SessionOptions, rmq.WithPoolLimit(*poolLimit))
+	}
+
+	httpSrv := &http.Server{
+		Addr:    *addr,
+		Handler: server.New(cfg),
+		// Header and body reads are bounded so trickled uploads cannot
+		// pin connections; responses stay unbounded (SSE streams run
+		// for the length of the optimization).
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	logger.Printf("serving on %s (max in-flight %d, default timeout %v, max timeout %v)",
+		*addr, cfg.MaxInFlight, cfg.DefaultTimeout, cfg.MaxTimeout)
+
+	select {
+	case err := <-errc:
+		logger.Printf("serve: %v", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting, drain in-flight requests (each
+	// bounded by MaxTimeout anyway), then exit 0.
+	logger.Printf("signal received; draining for up to %v", *grace)
+	shCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := httpSrv.Shutdown(shCtx); err != nil {
+		logger.Printf("grace expired (%v); closing", err)
+		httpSrv.Close()
+		os.Exit(1)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "rmqd: %v\n", err)
+		os.Exit(1)
+	}
+	logger.Printf("shut down cleanly")
+}

@@ -1,0 +1,286 @@
+// Command rmqload replays a mixed optimization workload against an
+// rmqd server and reports sustained throughput and tail latency, split
+// into the two traffic classes a serving deployment cares about:
+//
+//   - warm: repeated queries against a pool of pre-registered catalogs,
+//     answered from each catalog session's shared plan cache at a warm
+//     iteration budget;
+//   - cold: fresh queries — a newly registered catalog optimized once
+//     at the full cold budget, then dropped.
+//
+// Requests also rotate through metric subsets (all three, time+buffer,
+// time), exercising the per-subset stores of each session. 429
+// rejections (admission control) are counted separately from errors.
+//
+//	rmqload -addr http://localhost:8080 -clients 8 -duration 10s
+//	rmqload -duration 5s            # no -addr: serves in-process
+//
+// With -timeout-ms the workload switches from iteration budgets to
+// deadline budgets: every request carries timeout_ms and latency
+// converges to the deadline while quality varies — the anytime serving
+// mode.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net"
+	"net/http"
+	"os"
+	"slices"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rmq/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "", "rmqd base URL; empty starts an in-process server")
+		duration  = flag.Duration("duration", 10*time.Second, "how long to generate load")
+		clients   = flag.Int("clients", 4, "concurrent client goroutines")
+		catalogs  = flag.Int("catalogs", 4, "pre-registered warm catalogs")
+		tables    = flag.Int("tables", 24, "tables per catalog")
+		graph     = flag.String("graph", "chain", "join graph shape: chain, cycle or star")
+		repeat    = flag.Float64("repeat", 0.8, "fraction of requests that repeat a warm catalog")
+		coldIters = flag.Int("cold-iters", 400, "iteration budget of cold (fresh-catalog) requests")
+		warmIters = flag.Int("warm-iters", 40, "iteration budget of warm (repeated) requests")
+		timeoutMS = flag.Float64("timeout-ms", 0, "use a deadline budget (ms) for every request instead of iteration budgets")
+		seed      = flag.Uint64("seed", 1, "base seed for catalogs and requests")
+	)
+	flag.Parse()
+
+	base := *addr
+	if base == "" {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fatalf("%v", err)
+		}
+		srv := &http.Server{Handler: server.New(server.Config{MaxInFlight: 2 * *clients})}
+		go srv.Serve(ln)
+		defer srv.Close()
+		base = "http://" + ln.Addr().String()
+		fmt.Printf("in-process rmqd on %s\n", base)
+	}
+	base = strings.TrimSuffix(base, "/")
+	client := &http.Client{}
+
+	// Pre-register the warm catalog pool and prime each with one cold
+	// call so the measured warm class is actually warm.
+	warmIDs := make([]string, *catalogs)
+	for i := range warmIDs {
+		warmIDs[i] = registerCatalog(client, base, *tables, *graph, *seed+uint64(i))
+		if *timeoutMS == 0 {
+			if _, _, err := optimize(client, base, request{
+				Catalog: warmIDs[i], MaxIterations: *coldIters, Seed: *seed, Metrics: metricSubsets[0],
+			}); err != nil {
+				fatalf("priming %s: %v", warmIDs[i], err)
+			}
+		}
+	}
+	fmt.Printf("workload: %d warm catalogs × %d tables (%s), repeat %.2f, %d clients, %v\n",
+		*catalogs, *tables, *graph, *repeat, *clients, *duration)
+
+	var (
+		wg       sync.WaitGroup
+		reqSeed  atomic.Uint64
+		rejected atomic.Uint64
+		results  = make([]classStats, *clients*2) // [client*2]: warm, cold
+		deadline = time.Now().Add(*duration)
+	)
+	reqSeed.Store(*seed * 1000)
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(*seed, uint64(c)))
+			warm, cold := &results[c*2], &results[c*2+1]
+			for time.Now().Before(deadline) {
+				req := request{
+					Seed:    reqSeed.Add(1),
+					Metrics: metricSubsets[rng.IntN(len(metricSubsets))],
+				}
+				if *timeoutMS > 0 {
+					req.TimeoutMS = *timeoutMS
+				}
+				if rng.Float64() < *repeat {
+					req.Catalog = warmIDs[rng.IntN(len(warmIDs))]
+					if *timeoutMS == 0 {
+						req.MaxIterations = *warmIters
+					}
+					warm.record(client, base, req, &rejected)
+				} else {
+					id := registerCatalog(client, base, *tables, *graph, req.Seed)
+					req.Catalog = id
+					if *timeoutMS == 0 {
+						req.MaxIterations = *coldIters
+					}
+					cold.record(client, base, req, &rejected)
+					deleteCatalog(client, base, id)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	var warm, cold classStats
+	for c := 0; c < *clients; c++ {
+		warm.merge(&results[c*2])
+		cold.merge(&results[c*2+1])
+	}
+	fmt.Printf("\n%-6s %9s %7s %12s %9s %9s %9s %9s %7s\n",
+		"class", "requests", "errors", "throughput", "p50", "p90", "p99", "max", "plans")
+	warm.report("warm", *duration)
+	cold.report("cold", *duration)
+	if n := rejected.Load(); n > 0 {
+		fmt.Printf("rejected with 429 (admission control): %d\n", n)
+	}
+	printServerStats(client, base)
+}
+
+// metricSubsets rotates requests through metric subsets, exercising
+// one shared store per subset in each catalog's session.
+var metricSubsets = [][]string{nil, {"time", "buffer"}, {"time"}}
+
+type request struct {
+	Catalog       string   `json:"catalog"`
+	TimeoutMS     float64  `json:"timeout_ms,omitempty"`
+	MaxIterations int      `json:"max_iterations,omitempty"`
+	Metrics       []string `json:"metrics,omitempty"`
+	Seed          uint64   `json:"seed"`
+}
+
+type classStats struct {
+	latencies []time.Duration
+	plans     int
+	errors    int
+}
+
+func (cs *classStats) record(client *http.Client, base string, req request, rejected *atomic.Uint64) {
+	start := time.Now()
+	plans, status, err := optimize(client, base, req)
+	if status == http.StatusTooManyRequests {
+		rejected.Add(1)
+		return
+	}
+	if err != nil {
+		cs.errors++
+		return
+	}
+	cs.latencies = append(cs.latencies, time.Since(start))
+	cs.plans += plans
+}
+
+func (cs *classStats) merge(other *classStats) {
+	cs.latencies = append(cs.latencies, other.latencies...)
+	cs.plans += other.plans
+	cs.errors += other.errors
+}
+
+func (cs *classStats) report(name string, elapsed time.Duration) {
+	n := len(cs.latencies)
+	if n == 0 {
+		fmt.Printf("%-6s %9d %7d %12s\n", name, 0, cs.errors, "-")
+		return
+	}
+	slices.Sort(cs.latencies)
+	q := func(p float64) time.Duration {
+		idx := int(p*float64(n)+0.5) - 1
+		return cs.latencies[max(0, min(idx, n-1))]
+	}
+	fmt.Printf("%-6s %9d %7d %10.1f/s %9v %9v %9v %9v %7.1f\n",
+		name, n, cs.errors, float64(n)/elapsed.Seconds(),
+		q(0.50).Round(100*time.Microsecond), q(0.90).Round(100*time.Microsecond),
+		q(0.99).Round(100*time.Microsecond), cs.latencies[n-1].Round(100*time.Microsecond),
+		float64(cs.plans)/float64(n))
+}
+
+func registerCatalog(client *http.Client, base string, tables int, graph string, seed uint64) string {
+	body := fmt.Sprintf(`{"generate":{"tables":%d,"graph":%q,"seed":%d}}`, tables, graph, seed)
+	resp, err := client.Post(base+"/catalogs", "application/json", strings.NewReader(body))
+	if err != nil {
+		fatalf("register: %v", err)
+	}
+	defer resp.Body.Close()
+	var info struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil || info.ID == "" {
+		fatalf("register: status %d, err %v", resp.StatusCode, err)
+	}
+	return info.ID
+}
+
+func deleteCatalog(client *http.Client, base, id string) {
+	req, _ := http.NewRequest(http.MethodDelete, base+"/catalogs/"+id, nil)
+	resp, err := client.Do(req)
+	if err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}
+
+func optimize(client *http.Client, base string, req request) (plans, status int, err error) {
+	body, _ := json.Marshal(req)
+	resp, err := client.Post(base+"/optimize", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		return 0, resp.StatusCode, fmt.Errorf("status %d: %s", resp.StatusCode, data)
+	}
+	var or struct {
+		Plans []json.RawMessage `json:"plans"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&or); err != nil {
+		return 0, resp.StatusCode, err
+	}
+	if len(or.Plans) == 0 {
+		return 0, resp.StatusCode, fmt.Errorf("empty frontier")
+	}
+	return len(or.Plans), resp.StatusCode, nil
+}
+
+func printServerStats(client *http.Client, base string) {
+	resp, err := client.Get(base + "/stats")
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		InFlight int    `json:"in_flight"`
+		Served   uint64 `json:"served"`
+		Rejected uint64 `json:"rejected"`
+		Catalogs []struct {
+			ID    string `json:"id"`
+			Cache struct {
+				Sets  int `json:"sets"`
+				Plans int `json:"plans"`
+			} `json:"cache"`
+			Pool struct {
+				Pooled    int `json:"pooled"`
+				HighWater int `json:"high_water"`
+			} `json:"pool"`
+		} `json:"catalogs"`
+	}
+	if json.NewDecoder(resp.Body).Decode(&stats) != nil {
+		return
+	}
+	fmt.Printf("server: served %d, rejected %d, in-flight %d\n", stats.Served, stats.Rejected, stats.InFlight)
+	for _, c := range stats.Catalogs {
+		fmt.Printf("  catalog %s: cache %d sets / %d plans, pool %d (high-water %d)\n",
+			c.ID, c.Cache.Sets, c.Cache.Plans, c.Pool.Pooled, c.Pool.HighWater)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rmqload: "+format+"\n", args...)
+	os.Exit(1)
+}

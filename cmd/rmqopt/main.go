@@ -55,23 +55,12 @@ func main() {
 	flag.Parse()
 
 	spec := rmq.WorkloadSpec{Tables: *tables}
-	switch strings.ToLower(*graph) {
-	case "chain":
-		spec.Graph = rmq.Chain
-	case "cycle":
-		spec.Graph = rmq.Cycle
-	case "star":
-		spec.Graph = rmq.Star
-	default:
-		fatalf("unknown graph %q", *graph)
+	var err error
+	if spec.Graph, err = rmq.ParseGraph(*graph); err != nil {
+		fatalf("%v", err)
 	}
-	switch strings.ToLower(*sel) {
-	case "steinbrunn":
-		spec.Selectivity = rmq.Steinbrunn
-	case "minmax":
-		spec.Selectivity = rmq.MinMax
-	default:
-		fatalf("unknown selectivity model %q", *sel)
+	if spec.Selectivity, err = rmq.ParseSelectivity(*sel); err != nil {
+		fatalf("%v", err)
 	}
 	if *metrics < 1 || *metrics > 3 {
 		fatalf("metrics must be 1-3")

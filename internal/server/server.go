@@ -1,0 +1,522 @@
+// Package server implements rmqd's HTTP/JSON optimization service: the
+// layer that puts the library's anytime, context-driven optimizer on
+// the wire. Clients register catalogs (POST /catalogs) and optimize
+// against them (POST /optimize); each registered catalog is backed by
+// one long-lived rmq.Session with the shared plan cache enabled by
+// default, so repeated and overlapping queries against the same catalog
+// warm-start instead of rebuilding sub-plan frontiers per request.
+//
+// The paper's anytime property is the serving contract: a request's
+// deadline (timeout_ms, capped by the server's MaxTimeout) becomes a
+// context deadline, and when it expires mid-optimization the best
+// frontier found so far is returned with status 200 — budgeted latency,
+// graceful quality degradation. A client that disconnects cancels its
+// run promptly through the request context. Streaming requests
+// ("stream": true) get server-sent events with intermediate frontier
+// snapshots, so clients can stop early once the trade-offs suffice.
+//
+// Admission control is a bounded in-flight gauge: requests beyond
+// MaxInFlight are rejected immediately with 429 and a Retry-After hint
+// instead of queueing into the deadline. GET /healthz and GET /stats
+// expose liveness and the session-level telemetry (plan-cache sizes,
+// problem-pool high-water marks, in-flight/served/rejected counters).
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rmq"
+)
+
+// Config parameterizes a Server. The zero value serves with sensible
+// defaults for an interactive deployment.
+type Config struct {
+	// MaxInFlight bounds concurrently admitted /optimize requests;
+	// excess requests get 429 immediately. Default 2×GOMAXPROCS.
+	MaxInFlight int
+	// DefaultTimeout is the per-request optimization budget when the
+	// request names neither timeout_ms nor max_iterations. Default
+	// 500ms.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps every request budget (and backstops
+	// iteration-bounded requests), which also bounds how long graceful
+	// shutdown can take. Default 30s.
+	MaxTimeout time.Duration
+	// MaxParallelism caps per-request multi-start parallelism. Default
+	// max(8, 4×GOMAXPROCS).
+	MaxParallelism int
+	// DefaultRetention is the shared-cache retention precision α for
+	// catalogs whose registration does not set one; 0 selects exact
+	// retention (α = 1).
+	DefaultRetention float64
+	// SessionOptions are default rmq options applied to every catalog's
+	// session, before the per-catalog registration settings. Useful for
+	// a server-wide pool limit. (Retention belongs in DefaultRetention,
+	// not here: the server must know each catalog's effective retention
+	// to validate request assertions against it.)
+	SessionOptions []rmq.Option
+	// Logf, when non-nil, receives one line per notable event
+	// (registrations, rejections). The hot path never logs.
+	Logf func(format string, args ...any)
+}
+
+// maxCatalogTables bounds catalog registrations: the library's table
+// sets hold at most 128 tables (tableset.MaxTables), and an
+// unauthenticated endpoint must not allocate unbounded catalogs from a
+// one-line request anyway.
+const maxCatalogTables = 128
+
+// Server is the HTTP handler of the optimization service. Create with
+// New; safe for concurrent use.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	sem   chan struct{} // admission semaphore; len(sem) is the in-flight gauge
+	start time.Time
+
+	served   atomic.Uint64
+	rejected atomic.Uint64
+
+	mu       sync.RWMutex
+	catalogs map[string]*catalogEntry
+	nextID   uint64
+}
+
+// catalogEntry is one registered catalog with its long-lived session.
+type catalogEntry struct {
+	id          string
+	name        string
+	tables      int
+	sharedCache bool
+	// retention is the shared-cache retention precision the catalog was
+	// registered with (1 = exact). Requests may assert it; they can
+	// never change it — the per-subset stores are created lazily, so a
+	// request-supplied retention on the creation path would silently
+	// override the registration.
+	retention float64
+	sess      *rmq.Session
+	requests  atomic.Uint64
+}
+
+// New builds a Server from the config, applying defaults for unset
+// fields.
+func New(cfg Config) *Server {
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 500 * time.Millisecond
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 30 * time.Second
+	}
+	if cfg.MaxParallelism <= 0 {
+		cfg.MaxParallelism = max(8, 4*runtime.GOMAXPROCS(0))
+	}
+	s := &Server{
+		cfg:      cfg,
+		mux:      http.NewServeMux(),
+		sem:      make(chan struct{}, cfg.MaxInFlight),
+		start:    time.Now(),
+		catalogs: make(map[string]*catalogEntry),
+	}
+	s.mux.HandleFunc("POST /catalogs", s.handleRegisterCatalog)
+	s.mux.HandleFunc("GET /catalogs", s.handleListCatalogs)
+	s.mux.HandleFunc("DELETE /catalogs/{id}", s.handleDeleteCatalog)
+	s.mux.HandleFunc("POST /optimize", s.handleOptimize)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP dispatches to the service's routes.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// InFlight returns the number of currently admitted /optimize requests.
+func (s *Server) InFlight() int { return len(s.sem) }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// --- wire types ---
+
+// TableSpec is one base table of an explicit catalog registration.
+type TableSpec struct {
+	Name string  `json:"name,omitempty"`
+	Rows float64 `json:"rows"`
+}
+
+// EdgeSpec is one join-graph edge of an explicit catalog registration.
+type EdgeSpec struct {
+	A           int     `json:"a"`
+	B           int     `json:"b"`
+	Selectivity float64 `json:"selectivity"`
+}
+
+// GenerateSpec asks the server to generate a random catalog with the
+// paper's workload generator instead of listing tables explicitly.
+type GenerateSpec struct {
+	Tables      int    `json:"tables"`
+	Graph       string `json:"graph,omitempty"`       // chain (default), cycle, star
+	Selectivity string `json:"selectivity,omitempty"` // steinbrunn (default), minmax
+	Seed        uint64 `json:"seed,omitempty"`
+}
+
+// CatalogRequest is the body of POST /catalogs: either explicit tables
+// (+ optional edges) or a generate spec, plus per-catalog session
+// settings.
+type CatalogRequest struct {
+	Name     string        `json:"name,omitempty"`
+	Tables   []TableSpec   `json:"tables,omitempty"`
+	Edges    []EdgeSpec    `json:"edges,omitempty"`
+	Generate *GenerateSpec `json:"generate,omitempty"`
+	// SharedCache controls whether the catalog's session retains the
+	// plan cache across requests (warm starts). Default true — serving
+	// repeated traffic is what the service is for.
+	SharedCache *bool `json:"shared_cache,omitempty"`
+	// Retention is the shared-cache retention precision α ≥ 1 bounding
+	// store memory (0 = exact retention).
+	Retention float64 `json:"retention,omitempty"`
+	// PoolLimit caps the session's warmed problem pool; nil selects the
+	// adaptive default.
+	PoolLimit *int `json:"pool_limit,omitempty"`
+}
+
+// CatalogInfo describes a registered catalog.
+type CatalogInfo struct {
+	ID          string `json:"id"`
+	Name        string `json:"name,omitempty"`
+	Tables      int    `json:"tables"`
+	SharedCache bool   `json:"shared_cache"`
+}
+
+// OptimizeRequest is the body of POST /optimize. TimeoutMS maps to the
+// run's context deadline; MaxIterations bounds optimizer steps per
+// worker; the remaining fields map to the library's functional options.
+type OptimizeRequest struct {
+	Catalog       string   `json:"catalog"`
+	TimeoutMS     float64  `json:"timeout_ms,omitempty"`
+	MaxIterations int      `json:"max_iterations,omitempty"`
+	Metrics       []string `json:"metrics,omitempty"` // time, buffer, disc; default all
+	Algorithm     string   `json:"algorithm,omitempty"`
+	DPAlpha       float64  `json:"dp_alpha,omitempty"`
+	Parallelism   int      `json:"parallelism,omitempty"`
+	Seed          *uint64  `json:"seed,omitempty"`
+	// Retention asserts the shared-cache retention precision this
+	// request expects. It must match the precision the catalog's store
+	// was created with — a mismatch is answered with 409 rather than
+	// silently optimizing under a different memory bound.
+	Retention float64 `json:"retention,omitempty"`
+	// IncludePlans adds each frontier plan's operator tree to the
+	// response (costs alone otherwise).
+	IncludePlans bool `json:"include_plans,omitempty"`
+	// Stream switches the response to server-sent events: "progress"
+	// events with intermediate frontier snapshots roughly every
+	// ProgressEvery iterations, then one final "result" event.
+	Stream        bool `json:"stream,omitempty"`
+	ProgressEvery int  `json:"progress_every,omitempty"`
+}
+
+// PlanJSON is one frontier plan on the wire: its cost vector in the
+// response's metric order, and optionally the operator tree.
+type PlanJSON struct {
+	Cost []float64 `json:"cost"`
+	Tree string    `json:"tree,omitempty"`
+}
+
+// CacheStatsJSON mirrors rmq.CacheStats.
+type CacheStatsJSON struct {
+	Sets  int `json:"sets"`
+	Plans int `json:"plans"`
+}
+
+// PoolStatsJSON mirrors rmq.PoolStats.
+type PoolStatsJSON struct {
+	Pooled    int `json:"pooled"`
+	HighWater int `json:"high_water"`
+	Dropped   int `json:"dropped"`
+	Limit     int `json:"limit"`
+}
+
+// OptimizeResponse is the non-streaming /optimize response and the
+// payload of a stream's final "result" event.
+type OptimizeResponse struct {
+	Catalog    string     `json:"catalog"`
+	Metrics    []string   `json:"metrics"`
+	Plans      []PlanJSON `json:"plans"`
+	Iterations int        `json:"iterations"`
+	ElapsedMS  float64    `json:"elapsed_ms"`
+	// DeadlineExpired reports that the run was ended by its deadline
+	// (or a client cancellation) rather than an iteration cap or
+	// algorithm completion: the frontier is the anytime best-so-far.
+	DeadlineExpired bool           `json:"deadline_expired"`
+	Cache           CacheStatsJSON `json:"cache"`
+}
+
+// ProgressEvent is the payload of a stream's "progress" events.
+type ProgressEvent struct {
+	Iterations int         `json:"iterations"`
+	ElapsedMS  float64     `json:"elapsed_ms"`
+	Plans      int         `json:"plans"`
+	Frontier   [][]float64 `json:"frontier"`
+}
+
+// StatsResponse is the GET /stats payload.
+type StatsResponse struct {
+	UptimeMS float64        `json:"uptime_ms"`
+	InFlight int            `json:"in_flight"`
+	Capacity int            `json:"capacity"`
+	Served   uint64         `json:"served"`
+	Rejected uint64         `json:"rejected"`
+	Catalogs []CatalogStats `json:"catalogs"`
+}
+
+// CatalogStats is one catalog's row in GET /stats.
+type CatalogStats struct {
+	CatalogInfo
+	Requests uint64         `json:"requests"`
+	Cache    CacheStatsJSON `json:"cache"`
+	Pool     PoolStatsJSON  `json:"pool"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// --- helpers ---
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeBody decodes a bounded JSON request body, rejecting unknown
+// fields so schema typos fail loudly instead of silently optimizing
+// with defaults.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	return nil
+}
+
+func parseMetrics(names []string) ([]rmq.Metric, error) {
+	out := make([]rmq.Metric, 0, len(names))
+	for _, n := range names {
+		switch strings.ToLower(n) {
+		case "time":
+			out = append(out, rmq.MetricTime)
+		case "buffer":
+			out = append(out, rmq.MetricBuffer)
+		case "disc":
+			out = append(out, rmq.MetricDisc)
+		default:
+			return nil, fmt.Errorf("unknown metric %q (want time, buffer or disc)", n)
+		}
+	}
+	return out, nil
+}
+
+func metricNames(metrics []rmq.Metric) []string {
+	out := make([]string, len(metrics))
+	for i, m := range metrics {
+		out[i] = m.String()
+	}
+	return out
+}
+
+// --- catalog handlers ---
+
+func (s *Server) handleRegisterCatalog(w http.ResponseWriter, r *http.Request) {
+	var req CatalogRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad catalog request: %v", err)
+		return
+	}
+	var cat *rmq.Catalog
+	switch {
+	case req.Generate != nil && len(req.Tables) > 0:
+		writeError(w, http.StatusBadRequest, "give either tables or generate, not both")
+		return
+	case req.Generate != nil:
+		spec := rmq.WorkloadSpec{Tables: req.Generate.Tables}
+		var err error
+		if spec.Graph, err = rmq.ParseGraph(req.Generate.Graph); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if spec.Selectivity, err = rmq.ParseSelectivity(req.Generate.Selectivity); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if spec.Tables < 1 || spec.Tables > maxCatalogTables {
+			writeError(w, http.StatusBadRequest, "generate.tables must be in [1, %d]", maxCatalogTables)
+			return
+		}
+		cat = rmq.GenerateCatalog(spec, req.Generate.Seed)
+	case len(req.Tables) > maxCatalogTables:
+		writeError(w, http.StatusBadRequest, "%d tables exceeds the limit %d", len(req.Tables), maxCatalogTables)
+		return
+	case len(req.Tables) > 0:
+		tables := make([]rmq.Table, len(req.Tables))
+		for i, t := range req.Tables {
+			tables[i] = rmq.Table{Name: t.Name, Rows: t.Rows}
+		}
+		edges := make([]rmq.Edge, len(req.Edges))
+		for i, e := range req.Edges {
+			edges[i] = rmq.Edge{A: e.A, B: e.B, Selectivity: e.Selectivity}
+		}
+		var err error
+		cat, err = rmq.NewCatalog(tables, edges)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	default:
+		writeError(w, http.StatusBadRequest, "catalog request needs tables or generate")
+		return
+	}
+
+	sharedCache := req.SharedCache == nil || *req.SharedCache
+	// The catalog's effective retention: registration value, server
+	// default, or exact. Fixed here for the catalog's lifetime —
+	// requests assert it but cannot change it.
+	retention := req.Retention
+	if retention == 0 {
+		retention = s.cfg.DefaultRetention
+	}
+	if retention == 0 {
+		retention = 1
+	}
+	opts := append([]rmq.Option(nil), s.cfg.SessionOptions...)
+	opts = append(opts, rmq.WithSharedCache(sharedCache), rmq.WithCacheRetention(retention))
+	if req.PoolLimit != nil {
+		opts = append(opts, rmq.WithPoolLimit(*req.PoolLimit))
+	}
+	sess, err := rmq.NewSession(cat, opts...)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	s.mu.Lock()
+	s.nextID++
+	entry := &catalogEntry{
+		id:          "c" + strconv.FormatUint(s.nextID, 10),
+		name:        req.Name,
+		tables:      cat.NumTables(),
+		sharedCache: sharedCache,
+		retention:   retention,
+		sess:        sess,
+	}
+	s.catalogs[entry.id] = entry
+	s.mu.Unlock()
+	s.logf("registered catalog %s (%q, %d tables, shared cache %v)",
+		entry.id, entry.name, entry.tables, sharedCache)
+	writeJSON(w, http.StatusCreated, entry.info())
+}
+
+func (e *catalogEntry) info() CatalogInfo {
+	return CatalogInfo{ID: e.id, Name: e.name, Tables: e.tables, SharedCache: e.sharedCache}
+}
+
+func (s *Server) handleListCatalogs(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	out := make([]CatalogInfo, 0, len(s.catalogs))
+	for _, e := range s.catalogs {
+		out = append(out, e.info())
+	}
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleDeleteCatalog(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	_, ok := s.catalogs[id]
+	delete(s.catalogs, id)
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown catalog %q", id)
+		return
+	}
+	// In-flight requests holding the entry finish normally; sessions
+	// are concurrency-safe and simply become collectable afterwards.
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) catalog(id string) *catalogEntry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.catalogs[id]
+}
+
+// --- health and stats ---
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"uptime_ms": float64(time.Since(s.start)) / float64(time.Millisecond),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	entries := make([]*catalogEntry, 0, len(s.catalogs))
+	for _, e := range s.catalogs {
+		entries = append(entries, e)
+	}
+	s.mu.RUnlock()
+	resp := StatsResponse{
+		UptimeMS: float64(time.Since(s.start)) / float64(time.Millisecond),
+		InFlight: s.InFlight(),
+		Capacity: cap(s.sem),
+		Served:   s.served.Load(),
+		Rejected: s.rejected.Load(),
+		Catalogs: make([]CatalogStats, 0, len(entries)),
+	}
+	for _, e := range entries {
+		cs := e.sess.CacheStats()
+		ps := e.sess.PoolStats()
+		resp.Catalogs = append(resp.Catalogs, CatalogStats{
+			CatalogInfo: e.info(),
+			Requests:    e.requests.Load(),
+			Cache:       CacheStatsJSON{Sets: cs.Sets, Plans: cs.Plans},
+			Pool: PoolStatsJSON{
+				Pooled: ps.Pooled, HighWater: ps.HighWater,
+				Dropped: ps.Dropped, Limit: ps.Limit,
+			},
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// errStatus maps an rmq.Optimize error to an HTTP status: retention
+// conflicts are 409 (the request contradicts server-side state), every
+// other library error is a request problem.
+func errStatus(err error) int {
+	if errors.Is(err, rmq.ErrRetentionMismatch) {
+		return http.StatusConflict
+	}
+	return http.StatusBadRequest
+}

@@ -54,6 +54,10 @@
 // at a fraction of the cold cost (WithCacheRetention bounds the
 // retained memory).
 //
+// To serve optimization over the network, cmd/rmqd wraps sessions in an
+// HTTP/JSON service with per-request deadlines, admission control, and
+// streamed anytime snapshots (see internal/server).
+//
 // Algorithms beyond the built-in seven can be plugged in through
 // RegisterAlgorithm. See the examples directory for complete programs and
 // internal/harness for the reproduction of the paper's experiments.
@@ -145,6 +149,37 @@ type WorkloadSpec struct {
 	Graph GraphKind
 	// Selectivity is the selectivity model; default Steinbrunn.
 	Selectivity SelectivityModel
+}
+
+// ParseGraph maps a join-graph shape name ("chain", "cycle", "star",
+// case-insensitive) to its GraphKind; the empty string selects the
+// default, Chain. Both the rmqopt CLI and the rmqd service accept graph
+// shapes by these names.
+func ParseGraph(name string) (GraphKind, error) {
+	switch strings.ToLower(name) {
+	case "", "chain":
+		return Chain, nil
+	case "cycle":
+		return Cycle, nil
+	case "star":
+		return Star, nil
+	default:
+		return Chain, fmt.Errorf("rmq: unknown graph %q (want chain, cycle or star)", name)
+	}
+}
+
+// ParseSelectivity maps a selectivity-model name ("steinbrunn",
+// "minmax", case-insensitive) to its SelectivityModel; the empty string
+// selects the default, Steinbrunn.
+func ParseSelectivity(name string) (SelectivityModel, error) {
+	switch strings.ToLower(name) {
+	case "", "steinbrunn":
+		return Steinbrunn, nil
+	case "minmax":
+		return MinMax, nil
+	default:
+		return Steinbrunn, fmt.Errorf("rmq: unknown selectivity model %q (want steinbrunn or minmax)", name)
+	}
 }
 
 // GenerateCatalog builds a random catalog: stratified cardinalities and

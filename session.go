@@ -2,7 +2,9 @@ package rmq
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -10,6 +12,15 @@ import (
 	"rmq/internal/opt"
 	"rmq/internal/tableset"
 )
+
+// ErrRetentionMismatch reports that a run's WithCacheRetention disagrees
+// with the retention precision of the session's already-created shared
+// store for the run's metric subset. Retention is fixed by the run that
+// creates a store; a later run asking for a different value would
+// silently optimize under someone else's memory bound, so the mismatch
+// is an error instead. Match the creating run's retention, omit the
+// option to reuse the store as-is, or use a separate session.
+var ErrRetentionMismatch = errors.New("cache retention conflicts with the session store's retention")
 
 // Session binds a catalog and default options for repeated optimization
 // of queries against the same database. Sessions reuse cost-model state
@@ -22,7 +33,14 @@ import (
 // warm-start instead of relearning identical frontiers. A Session is
 // safe for concurrent use; concurrent runs and parallel workers each
 // borrow their own problem instance from an internal pool (the
-// underlying cost model is not concurrency-safe).
+// underlying cost model is not concurrency-safe). The pool is capped —
+// a release keeps at most max(GOMAXPROCS, the run's parallelism)
+// warmed instances per compatibility class, or the explicit
+// WithPoolLimit — so bursts of concurrent runs do not pin unbounded
+// memory; PoolStats reports its state. The retention precision of the
+// shared plan cache is fixed per metric subset by the run that creates
+// the store: a later run passing a different WithCacheRetention gets
+// ErrRetentionMismatch.
 type Session struct {
 	cat      *Catalog
 	defaults []Option
@@ -34,7 +52,14 @@ type Session struct {
 	// interner. Problems warmed under one key must never be handed to a
 	// run resolving to another — a private-interner problem inside a
 	// shared-cache run would assign plan ids from a foreign namespace.
+	// Each key's population is capped (see release); a burst of
+	// concurrent runs must not pin burst×parallelism warmed instances.
 	pool map[poolKey][]*opt.Problem
+	// pooled is the current total across pool keys; poolHigh its
+	// high-water mark and dropped the instances discarded at the cap.
+	pooled   int
+	poolHigh int
+	dropped  int
 	// shared holds the session's retained plan caches, one per metric
 	// subset (cost vectors of different dimensionality are incomparable).
 	// Created lazily by the first run that enables sharing.
@@ -100,11 +125,42 @@ func (s *Session) CacheStats() CacheStats {
 	return cs
 }
 
+// PoolStats describes the session's pool of warmed problem instances:
+// how many are currently parked, the most that were ever parked at
+// once, how many were dropped at the cap, and the configured cap.
+type PoolStats struct {
+	// Pooled is the number of problem instances currently parked,
+	// summed across compatibility classes. Instances borrowed by
+	// running Optimize calls are not counted.
+	Pooled int
+	// HighWater is the largest Pooled value the session ever reached.
+	// With the per-class cap it is bounded regardless of burst size.
+	HighWater int
+	// Dropped counts warmed instances discarded because returning them
+	// would have exceeded the per-class cap.
+	Dropped int
+	// Limit is the explicit per-class cap (WithPoolLimit) or 0 when the
+	// adaptive default applies: max(GOMAXPROCS, the run's parallelism).
+	Limit int
+}
+
+// PoolStats reports the current state of the session's problem pool.
+func (s *Session) PoolStats() PoolStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	limit := 0
+	if cfg, err := resolveConfig(s.defaults); err == nil && cfg.poolLimitSet {
+		limit = cfg.poolLimit
+	}
+	return PoolStats{Pooled: s.pooled, HighWater: s.poolHigh, Dropped: s.dropped, Limit: limit}
+}
+
 // sharedCache returns the session's shared plan cache for the metric
 // subset, creating it (and its shared-mode interner) on first use. The
 // retention precision is fixed by the creating run's configuration;
-// later runs reuse the store as-is.
-func (s *Session) sharedCache(cfg config) *cache.Shared {
+// later runs reuse the store as-is when they leave retention unset, and
+// get ErrRetentionMismatch when they explicitly ask for a different one.
+func (s *Session) sharedCache(cfg config) (*cache.Shared, error) {
 	key := metricsKey(cfg.metrics)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -115,8 +171,13 @@ func (s *Session) sharedCache(cfg config) *cache.Shared {
 			s.shared = make(map[string]*cache.Shared)
 		}
 		s.shared[key] = sh
+		return sh, nil
 	}
-	return sh
+	if cfg.retentionSet && cfg.retention != sh.Retention() {
+		return nil, fmt.Errorf("rmq: %w: run wants α = %v, the store was created with α = %v (retention is fixed per metric subset by the creating run; match it, omit WithCacheRetention, or use a separate session)",
+			ErrRetentionMismatch, cfg.retention, sh.Retention())
+	}
+	return sh, nil
 }
 
 // Optimize computes an approximation of the Pareto plan set for joining
@@ -134,10 +195,13 @@ func (s *Session) Optimize(ctx context.Context, opts ...Option) (*Frontier, erro
 
 	var shared *cache.Shared
 	if cfg.sharedCache {
-		shared = s.sharedCache(cfg)
+		shared, err = s.sharedCache(cfg)
+		if err != nil {
+			return nil, err
+		}
 	}
 	problems := s.acquire(cfg.metrics, cfg.parallelism, shared)
-	defer s.release(cfg.metrics, shared, problems)
+	defer s.release(cfg.metrics, shared, problems, cfg.poolCap())
 	workers := make([]opt.Worker, cfg.parallelism)
 	for i := range workers {
 		o, err := newOptimizer(cfg, shared)
@@ -188,12 +252,31 @@ func (s *Session) Optimize(ctx context.Context, opts ...Option) (*Frontier, erro
 
 // workerSeed derives the seed of worker i from the run seed. Worker 0
 // keeps the run seed, so sequential runs match the pre-parallelism
-// behavior; higher workers get well-spread distinct seeds.
+// behavior; higher workers take the i-th output of a SplitMix64
+// generator whose stream origin is the finalizer-mixed run seed. The
+// mixing matters for serving workloads that derive per-request seeds:
+// the previous bare golden-ratio increment made run seed s worker 1
+// collide bit-for-bit with run seed s+0x9E3779B97F4A7C15 worker 0 (and,
+// generally, worker i of seed s with worker i+k of seed s-k·golden),
+// silently duplicating multi-start trajectories across requests.
+// Hashing the origin before the increment leaves no algebraic relation
+// between the streams of different run seeds.
 func workerSeed(seed uint64, i int) uint64 {
 	if i == 0 {
 		return seed
 	}
-	return seed + uint64(i)*0x9E3779B97F4A7C15 // golden-ratio increment
+	return splitmix64(splitmix64(seed) + uint64(i)*0x9E3779B97F4A7C15)
+}
+
+// splitmix64 is the SplitMix64 finalizer (Steele et al.), a bijective
+// avalanche mix of the full 64-bit state.
+func splitmix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
 }
 
 // metricsKey canonically encodes a metric subset for the problem pool.
@@ -216,7 +299,11 @@ func (s *Session) acquire(metrics []Metric, n int, shared *cache.Shared) []*opt.
 	free := s.pool[key]
 	take := min(n, len(free))
 	got := append([]*opt.Problem(nil), free[len(free)-take:]...)
+	for i := len(free) - take; i < len(free); i++ {
+		free[i] = nil // keep the parked suffix collectable
+	}
 	s.pool[key] = free[:len(free)-take]
+	s.pooled -= take
 	s.mu.Unlock()
 	for len(got) < n {
 		if shared != nil {
@@ -230,10 +317,31 @@ func (s *Session) acquire(metrics []Metric, n int, shared *cache.Shared) []*opt.
 
 // release returns borrowed problem instances to the pool, warmed by the
 // run that used them, under the same compatibility key they were
-// acquired with.
-func (s *Session) release(metrics []Metric, shared *cache.Shared, problems []*opt.Problem) {
+// acquired with. The per-key population is capped at limit (< 0 selects
+// the adaptive default: as many instances as GOMAXPROCS or this run's
+// parallelism, whichever is larger) and the overflow is dropped, oldest
+// first — without the cap, a burst of B concurrent runs at parallelism
+// P permanently pinned B×P warmed instances, each holding a cost model,
+// caches, and scratch arenas.
+func (s *Session) release(metrics []Metric, shared *cache.Shared, problems []*opt.Problem, limit int) {
 	key := poolKey{metricsKey(metrics), shared != nil}
+	if limit < 0 {
+		limit = max(runtime.GOMAXPROCS(0), len(problems))
+	}
 	s.mu.Lock()
-	s.pool[key] = append(s.pool[key], problems...)
-	s.mu.Unlock()
+	defer s.mu.Unlock()
+	before := len(s.pool[key])
+	free := append(s.pool[key], problems...)
+	if over := len(free) - limit; over > 0 {
+		s.dropped += over
+		// Keep the most recently released instances — the warmest ones.
+		copy(free, free[over:])
+		for i := limit; i < len(free); i++ {
+			free[i] = nil
+		}
+		free = free[:limit]
+	}
+	s.pool[key] = free
+	s.pooled += len(free) - before
+	s.poolHigh = max(s.poolHigh, s.pooled)
 }

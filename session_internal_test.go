@@ -1,9 +1,14 @@
 // In-package session tests: the problem pool's compatibility keying,
-// which external tests cannot observe.
+// its population cap, the shared-store retention contract, and the
+// per-worker seed derivation — state external tests cannot observe.
 package rmq
 
 import (
 	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
 	"testing"
 
 	"rmq/internal/costmodel"
@@ -104,7 +109,10 @@ func TestSharedStorePerMetricSubset(t *testing.T) {
 
 // TestSharedStoreRetentionFixedByFirstRun documents that the retention
 // precision of a metric subset's store is fixed by the run that creates
-// it.
+// it: a later run that explicitly asks for a different retention gets
+// ErrRetentionMismatch (it would otherwise silently optimize under
+// someone else's memory bound), while runs that match the retention or
+// leave it unset reuse the store.
 func TestSharedStoreRetentionFixedByFirstRun(t *testing.T) {
 	cat := GenerateCatalog(WorkloadSpec{Tables: 6, Graph: Chain}, 1)
 	s, err := NewSession(cat, WithSharedCache(true))
@@ -115,14 +123,155 @@ func TestSharedStoreRetentionFixedByFirstRun(t *testing.T) {
 	if _, err := s.Optimize(ctx, WithCacheRetention(2), WithMaxIterations(4)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Optimize(ctx, WithCacheRetention(4), WithMaxIterations(4)); err != nil {
-		t.Fatal(err)
+	// A conflicting explicit retention is an error, not a silent reuse.
+	_, err = s.Optimize(ctx, WithCacheRetention(4), WithMaxIterations(4))
+	if !errors.Is(err, ErrRetentionMismatch) {
+		t.Fatalf("conflicting retention: got err %v, want ErrRetentionMismatch", err)
+	}
+	// Matching retention and unset retention both reuse the store.
+	if _, err := s.Optimize(ctx, WithCacheRetention(2), WithMaxIterations(4)); err != nil {
+		t.Fatalf("matching retention rejected: %v", err)
+	}
+	if _, err := s.Optimize(ctx, WithMaxIterations(4)); err != nil {
+		t.Fatalf("unset retention rejected: %v", err)
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	n := len(s.shared)
 	for _, sh := range s.shared {
 		if got := sh.Retention(); got != 2 {
+			s.mu.Unlock()
 			t.Fatalf("store retention = %v, want 2 (fixed by the creating run)", got)
+		}
+	}
+	s.mu.Unlock()
+	if n != 1 {
+		t.Fatalf("session holds %d stores, want 1 (the error path must not create a second store)", n)
+	}
+}
+
+// TestProblemPoolCappedUnderBurst is the regression test for the
+// unbounded-pool bug: release appended every borrowed problem back with
+// no cap, so a burst of B concurrent Optimize calls at parallelism P
+// permanently pinned B×P warmed instances. The pool is now capped per
+// compatibility class; the high-water mark of a burst must not exceed
+// the cap.
+func TestProblemPoolCappedUnderBurst(t *testing.T) {
+	cat := GenerateCatalog(WorkloadSpec{Tables: 8, Graph: Chain}, 1)
+	const burst, parallelism, limit = 8, 4, 3
+	s, err := NewSession(cat, WithPoolLimit(limit))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := s.Optimize(context.Background(),
+				WithSeed(uint64(i)), WithParallelism(parallelism), WithMaxIterations(5))
+			if err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	ps := s.PoolStats()
+	if ps.HighWater > limit {
+		t.Fatalf("pool high-water %d exceeds the cap %d (pooled %d, dropped %d)",
+			ps.HighWater, limit, ps.Pooled, ps.Dropped)
+	}
+	if ps.Pooled > limit {
+		t.Fatalf("pool holds %d instances, cap is %d", ps.Pooled, limit)
+	}
+	if ps.Limit != limit {
+		t.Fatalf("PoolStats.Limit = %d, want %d", ps.Limit, limit)
+	}
+	// The burst borrowed more instances than the cap admits back, so
+	// drops must have happened — that is the memory bound working.
+	if ps.Dropped == 0 {
+		t.Fatal("burst released everything into the pool without dropping; the cap is not applied")
+	}
+
+	// The adaptive default keeps at most max(GOMAXPROCS, parallelism)
+	// per class: a session without an explicit limit stays bounded too.
+	s2, err := NewSession(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg2 sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg2.Add(1)
+		go func(i int) {
+			defer wg2.Done()
+			if _, err := s2.Optimize(context.Background(),
+				WithSeed(uint64(i)), WithParallelism(parallelism), WithMaxIterations(5)); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg2.Wait()
+	adaptiveCap := max(runtime.GOMAXPROCS(0), parallelism)
+	if ps2 := s2.PoolStats(); ps2.HighWater > adaptiveCap {
+		t.Fatalf("adaptive pool high-water %d exceeds max(GOMAXPROCS, parallelism) = %d",
+			ps2.HighWater, adaptiveCap)
+	}
+}
+
+// TestWithPoolLimitZeroDisablesPooling pins the n = 0 contract and the
+// option's validation.
+func TestWithPoolLimitZeroDisablesPooling(t *testing.T) {
+	cat := GenerateCatalog(WorkloadSpec{Tables: 6, Graph: Chain}, 1)
+	s, err := NewSession(cat, WithPoolLimit(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Optimize(context.Background(), WithMaxIterations(4)); err != nil {
+		t.Fatal(err)
+	}
+	if ps := s.PoolStats(); ps.Pooled != 0 || ps.HighWater != 0 || ps.Dropped == 0 {
+		t.Fatalf("pool limit 0 must park nothing: %+v", ps)
+	}
+	if _, err := NewSession(cat, WithPoolLimit(-1)); err == nil {
+		t.Fatal("negative pool limit accepted")
+	}
+}
+
+// TestWorkerSeedsWellSpread is the regression test for the worker-seed
+// collision: the bare golden-ratio increment made run seed s worker 1
+// collide bit-for-bit with run seed s+0x9E3779B97F4A7C15 worker 0, so
+// adjacent server requests deriving per-request seeds could silently
+// duplicate multi-start trajectories. With the SplitMix64 finalizer the
+// derived streams are pairwise distinct across runs and workers, while
+// worker 0 still keeps the raw run seed for sequential compatibility.
+func TestWorkerSeedsWellSpread(t *testing.T) {
+	const golden uint64 = 0x9E3779B97F4A7C15
+	for _, s := range []uint64{0, 1, 42, 1 << 63} {
+		if workerSeed(s, 0) != s {
+			t.Fatalf("worker 0 of seed %d no longer keeps the raw seed", s)
+		}
+		if workerSeed(s, 1) == workerSeed(s+golden, 0) {
+			t.Fatalf("seed %d worker 1 collides with seed %d worker 0 (the pre-finalizer bug)", s, s+golden)
+		}
+	}
+	// Pairwise distinct across a grid of run seeds × workers, including
+	// the golden-ratio-spaced run seeds that collided before and the
+	// dense consecutive seeds a server derives per request.
+	seen := make(map[uint64]string)
+	bases := []uint64{7, 7 + golden}
+	bases = append(bases, bases[1]+golden) // wraps past 2^64; constant arithmetic would not
+	for _, base := range bases {
+		for run := uint64(0); run < 64; run++ {
+			for w := 0; w < 8; w++ {
+				derived := workerSeed(base+run, w)
+				at := ""
+				if prev, dup := seen[derived]; dup {
+					at = prev
+				}
+				if at != "" {
+					t.Fatalf("derived seed collision: run %d worker %d repeats %s", base+run, w, at)
+				}
+				seen[derived] = fmt.Sprintf("run %d worker %d", base+run, w)
+			}
 		}
 	}
 }

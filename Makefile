@@ -10,7 +10,7 @@ GATE_PKGS  = . ./internal/core ./internal/costmodel ./internal/cost ./internal/s
 BENCH_OUT ?= BENCH_$(shell date +%F).json
 THRESHOLD ?= 0.2
 
-.PHONY: build test race vet fmt lint bench bench-full bench-diff bench-baseline profile
+.PHONY: build test race vet fmt lint rmqlint bench bench-full bench-diff bench-baseline profile
 
 build:
 	$(GO) build ./...
@@ -27,8 +27,13 @@ vet:
 fmt:
 	gofmt -l .
 
-lint:
+## lint: staticcheck plus the module's own invariant analyzers
+## (cmd/rmqlint: hotalloc, lockorder, detrand, ctxloop, benchtimer).
+lint: rmqlint
 	staticcheck ./...
+
+rmqlint:
+	$(GO) run ./cmd/rmqlint ./...
 
 ## bench: run the CI-gated microbenchmarks, writing $(BENCH_OUT).
 bench:

@@ -1,0 +1,197 @@
+// rmqlint is the module's multichecker: it runs the internal/analysis
+// passes — hotalloc, lockorder, detrand, ctxloop, benchtimer — over Go
+// package patterns, plus (by default) a selected set of go vet passes,
+// and exits non-zero on any finding. It is the static, CI-gated form
+// of the invariants the test suite samples dynamically: the zero-alloc
+// climb loop, the store→bucket lock order, bit-identical trajectories,
+// cancelable loops and honest benchmark timing.
+//
+// Usage:
+//
+//	rmqlint [flags] [packages]
+//
+//	rmqlint ./...            lint the whole module (the CI invocation)
+//	rmqlint -json ./...      machine-readable findings (rmq-lint/v1)
+//	rmqlint -vet=false ./... analyzers only, skip the go vet passes
+//
+// The -json report mirrors the internal/benchio pattern — a schema-
+// tagged document with one entry per finding (file/line/col/analyzer/
+// message) — so future tooling can diff findings across commits the
+// way cmd/benchreport diffs benchmarks.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"sort"
+	"strings"
+
+	"rmq/internal/analysis"
+	"rmq/internal/analysis/benchtimer"
+	"rmq/internal/analysis/ctxloop"
+	"rmq/internal/analysis/detrand"
+	"rmq/internal/analysis/hotalloc"
+	"rmq/internal/analysis/load"
+	"rmq/internal/analysis/lockorder"
+)
+
+// Schema identifies the -json report format; bump on incompatible
+// changes.
+const Schema = "rmq-lint/v1"
+
+// report is the -json document.
+type report struct {
+	Schema   string             `json:"schema"`
+	Findings []analysis.Finding `json:"findings"`
+}
+
+// analyzers is the rmqlint suite.
+var analyzers = []*analysis.Analyzer{
+	hotalloc.Analyzer,
+	lockorder.Analyzer,
+	detrand.Analyzer,
+	ctxloop.Analyzer,
+	benchtimer.Analyzer,
+}
+
+// vetPasses are the go vet analyzers run alongside the suite: the ones
+// that guard the same invariant classes (lock copies, atomic misuse)
+// plus cheap always-valuable checks. Naming specific passes keeps the
+// run identical across Go releases.
+var vetPasses = []string{"-copylocks", "-atomic", "-bools", "-nilfunc", "-unusedresult"}
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a rmq-lint/v1 JSON report on stdout")
+	vet := flag.Bool("vet", true, "also run the selected go vet passes")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: rmqlint [-json] [-vet=false] [packages]\n\nAnalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, fset, err := load.Load(load.Config{Tests: true}, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rmqlint:", err)
+		os.Exit(2)
+	}
+	findings := analysis.NewDriver(analyzers...).Run(fset, pkgs)
+
+	if *vet {
+		vetFindings, err := runVet(patterns)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rmqlint: go vet:", err)
+			os.Exit(2)
+		}
+		findings = append(findings, vetFindings...)
+		sort.Slice(findings, func(i, j int) bool {
+			a, b := findings[i], findings[j]
+			if a.File != b.File {
+				return a.File < b.File
+			}
+			return a.Line < b.Line
+		})
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []analysis.Finding{}
+		}
+		if err := enc.Encode(report{Schema: Schema, Findings: findings}); err != nil {
+			fmt.Fprintln(os.Stderr, "rmqlint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "rmqlint: %d finding(s)\n", len(findings))
+		}
+		os.Exit(1)
+	}
+}
+
+// runVet executes the selected go vet passes with -json output and
+// folds their diagnostics into rmqlint findings.
+func runVet(patterns []string) ([]analysis.Finding, error) {
+	args := append([]string{"vet", "-json"}, vetPasses...)
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	var out, stderr bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &stderr
+	runErr := cmd.Run()
+
+	// `go vet -json` writes a stream of per-package JSON objects to
+	// stderr, each mapping package → analyzer → diagnostics, separated
+	// by "# pkg" comment lines.
+	var findings []analysis.Finding
+	dec := json.NewDecoder(bytes.NewReader(stripComments(stderr.Bytes())))
+	for dec.More() {
+		var perPkg map[string]map[string][]struct {
+			Posn    string `json:"posn"`
+			Message string `json:"message"`
+		}
+		if err := dec.Decode(&perPkg); err != nil {
+			// Non-JSON stderr means vet itself failed (bad flag, build
+			// error); surface it.
+			return nil, fmt.Errorf("%v\n%s", runErr, stderr.String())
+		}
+		for _, byAnalyzer := range perPkg {
+			for name, diags := range byAnalyzer {
+				for _, d := range diags {
+					f := analysis.Finding{Analyzer: "vet/" + name, Message: d.Message}
+					f.File, f.Line, f.Col = splitPosn(d.Posn)
+					findings = append(findings, f)
+				}
+			}
+		}
+	}
+	return findings, nil
+}
+
+// stripComments drops the "# package" separator lines go vet -json
+// interleaves with the JSON objects.
+func stripComments(b []byte) []byte {
+	var keep [][]byte
+	for _, line := range bytes.Split(b, []byte("\n")) {
+		if !bytes.HasPrefix(bytes.TrimSpace(line), []byte("#")) {
+			keep = append(keep, line)
+		}
+	}
+	return bytes.Join(keep, []byte("\n"))
+}
+
+// splitPosn parses a "file:line:col" vet position.
+func splitPosn(posn string) (string, int, int) {
+	parts := strings.Split(posn, ":")
+	if len(parts) < 3 {
+		return posn, 0, 0
+	}
+	var line, col int
+	fmt.Sscanf(parts[len(parts)-2], "%d", &line)
+	fmt.Sscanf(parts[len(parts)-1], "%d", &col)
+	return strings.Join(parts[:len(parts)-2], ":"), line, col
+}

@@ -1,0 +1,219 @@
+// Package analysis is the rmqlint framework: a minimal, dependency-free
+// reimplementation of the golang.org/x/tools/go/analysis surface, plus
+// the //rmq:* annotation grammar the analyzers share.
+//
+// The module's performance and correctness guarantees rest on a small
+// number of load-bearing invariants — the climb loop does not allocate,
+// cache locks are acquired store→bucket, trajectory-bearing packages
+// stay deterministic, long loops observe cancellation, benchmarks keep
+// reporting out of timed sections. Each invariant was established by an
+// earlier change and enforced only at sampled entry points
+// (AllocsPerRun probes, -race runs); the analyzers in the subpackages
+// make them static and total. See the README's "Static analysis"
+// section for the annotation grammar and cmd/rmqlint for the checker
+// binary.
+//
+// # Why not golang.org/x/tools/go/analysis
+//
+// The module has no external dependencies (go.mod lists none) and its
+// build environment deliberately works offline. The x/tools analysis
+// framework would be the natural host for these checkers; this package
+// keeps its shape — Analyzer with a Run func over a Pass, object facts
+// for cross-package results, analysistest-style fixture tests — so the
+// passes could be ported to a vet-tool multichecker nearly verbatim if
+// the dependency ever becomes available.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"rmq/internal/analysis/load"
+)
+
+// Analyzer is one static check. Run is invoked once per package, in
+// dependency order, so facts exported while analyzing a package are
+// visible when analyzing its importers.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and JSON output.
+	Name string
+	// Doc is a short description, shown by `rmqlint -help`.
+	Doc string
+	// Run performs the check, reporting findings through the pass.
+	Run func(*Pass)
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkg      *load.Package
+	Ann      *Annotations
+
+	driver *Driver
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	p.driver.findings = append(p.driver.findings, Finding{
+		Analyzer: p.Analyzer.Name,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ExportFact publishes a fact about an object of this package, keyed by
+// ObjKey, for analyzers of importing packages. Facts are per-analyzer.
+func (p *Pass) ExportFact(key string, fact any) {
+	m := p.driver.facts[p.Analyzer.Name]
+	if m == nil {
+		m = make(map[string]any)
+		p.driver.facts[p.Analyzer.Name] = m
+	}
+	m[key] = fact
+}
+
+// ImportFact returns the fact previously exported under key by this
+// analyzer while checking a dependency package.
+func (p *Pass) ImportFact(key string) (any, bool) {
+	fact, ok := p.driver.facts[p.Analyzer.Name][key]
+	return fact, ok
+}
+
+// IsTestFile reports whether the file at pos is a _test.go file.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// Finding is one diagnostic, in source order after a Driver run.
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", f.File, f.Line, f.Col, f.Message, f.Analyzer)
+}
+
+// ObjKey names an object stably across packages: package path plus
+// (receiver-qualified) name. Facts are keyed by it because module
+// packages are type-checked from source while their importers may see
+// them through export data, so types.Object identity cannot be relied
+// on for cross-package maps.
+func ObjKey(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	name := obj.Name()
+	if fn, ok := obj.(*types.Func); ok {
+		if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+			t := recv.Type()
+			if ptr, ok := t.(*types.Pointer); ok {
+				t = ptr.Elem()
+			}
+			if named, ok := t.(*types.Named); ok {
+				name = named.Obj().Name() + "." + name
+			}
+		}
+	}
+	return obj.Pkg().Path() + "." + name
+}
+
+// Driver runs analyzers over packages in dependency order and collects
+// their findings.
+type Driver struct {
+	Analyzers []*Analyzer
+
+	facts    map[string]map[string]any
+	findings []Finding
+}
+
+// NewDriver returns a driver for the given analyzers.
+func NewDriver(analyzers ...*Analyzer) *Driver {
+	return &Driver{Analyzers: analyzers, facts: make(map[string]map[string]any)}
+}
+
+// Run analyzes the packages (which must already be in dependency
+// order, as load.Load returns them) and returns all findings sorted by
+// file, line and analyzer.
+func (d *Driver) Run(fset *token.FileSet, pkgs []*load.Package) []Finding {
+	d.findings = d.findings[:0]
+	for _, pkg := range pkgs {
+		ann := ParseAnnotations(fset, pkg.Files)
+		for _, a := range d.Analyzers {
+			a.Run(&Pass{Analyzer: a, Fset: fset, Pkg: pkg, Ann: ann, driver: d})
+		}
+	}
+	sort.Slice(d.findings, func(i, j int) bool {
+		a, b := d.findings[i], d.findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return d.findings
+}
+
+// FuncsOf returns the function declarations of the package's files,
+// paired with their types objects, skipping declarations without
+// bodies.
+func FuncsOf(pkg *load.Package) map[*types.Func]*ast.FuncDecl {
+	fns := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				fns[obj] = fd
+			}
+		}
+	}
+	return fns
+}
+
+// CalleeOf resolves the statically-known callee of a call expression:
+// a plain function, a method on a concrete receiver, or nil for
+// builtins, conversions, function values and interface method calls.
+func CalleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if sel.Kind() != types.MethodVal {
+				return nil
+			}
+			// Methods reached through an interface value have no body
+			// to check statically.
+			if types.IsInterface(sel.Recv()) {
+				return nil
+			}
+			obj = sel.Obj()
+		} else {
+			obj = info.Uses[fun.Sel] // package-qualified function
+		}
+	default:
+		return nil
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}

@@ -1,0 +1,140 @@
+// Package analysistest runs rmqlint analyzers over fixture packages
+// and checks their findings against // want comments, mirroring the
+// golang.org/x/tools analysistest convention.
+//
+// Fixtures live under testdata/src/<pkg>/ next to the analyzer's test.
+// A line that should be flagged carries a trailing comment
+//
+//	v := make([]int, 8) // want `make allocates`
+//
+// whose backquoted (or double-quoted) arguments are regular
+// expressions matched against the analyzer's findings on that line.
+// Every finding must be matched by a want and every want by a finding;
+// fixture lines with escape-hatch annotations (//rmq:allow-*) simply
+// carry no want, proving the hatch works. Packages are checked in the
+// order given, so a fixture package may import an earlier one (use
+// import paths under rmq/ to exercise the module-internal call rules).
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"rmq/internal/analysis"
+	"rmq/internal/analysis/load"
+)
+
+// TestData returns the absolute path of the caller's testdata
+// directory.
+func TestData(t *testing.T) string {
+	t.Helper()
+	abs, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}
+
+// Run checks the fixture packages (directories under testdata/src, in
+// order) with the analyzer and compares findings against the // want
+// expectations in the fixture sources.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	checker := load.NewChecker(fset, "")
+	var pkgs []*load.Package
+	for _, path := range pkgPaths {
+		pkg, err := checker.CheckDir(path, filepath.Join(testdata, "src", filepath.FromSlash(path)))
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	findings := analysis.NewDriver(a).Run(fset, pkgs)
+
+	wants := collectWants(t, fset, pkgs)
+	for _, f := range findings {
+		key := fmt.Sprintf("%s:%d", f.File, f.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.used && w.re.MatchString(f.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.used {
+				t.Errorf("%s: no finding matched `%s`", key, w.re)
+			}
+		}
+	}
+}
+
+type want struct {
+	re   *regexp.Regexp
+	used bool
+}
+
+func collectWants(t *testing.T, fset *token.FileSet, pkgs []*load.Package) map[string][]*want {
+	t.Helper()
+	wants := make(map[string][]*want)
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					text, ok := cutWant(c)
+					if !ok {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+					for _, pat := range parseWantArgs(t, pos, text) {
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %q: %v", key, pat, err)
+						}
+						wants[key] = append(wants[key], &want{re: re})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func cutWant(c *ast.Comment) (string, bool) {
+	text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+	return strings.CutPrefix(text, "want ")
+}
+
+// parseWantArgs splits `a` or "a" quoted patterns.
+func parseWantArgs(t *testing.T, pos token.Position, text string) []string {
+	t.Helper()
+	var pats []string
+	rest := strings.TrimSpace(text)
+	for rest != "" {
+		q, err := strconv.QuotedPrefix(rest)
+		if err != nil {
+			t.Fatalf("%s: malformed want arguments %q", pos, text)
+		}
+		pat, err := strconv.Unquote(q)
+		if err != nil {
+			t.Fatalf("%s: malformed want argument %q", pos, q)
+		}
+		pats = append(pats, pat)
+		rest = strings.TrimSpace(rest[len(q):])
+	}
+	return pats
+}

@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Annotation is one parsed //rmq:* comment. The grammar is
+//
+//	//rmq:NAME            — marker (e.g. //rmq:hotpath)
+//	//rmq:NAME(ARGS)      — marker with arguments (e.g. //rmq:allow-alloc(reason))
+//	//rmq:NAME ARGS       — space-separated arguments (e.g. //rmq:lock store 1)
+//
+// written without a space after "//", like other Go tool directives, so
+// gofmt never reflows them. Where an annotation binds depends on
+// placement: in a function's doc comment it describes the function, in
+// a package doc comment the package, and on (or directly above) a
+// statement's line the single site — the form the allow-* escape
+// hatches use.
+type Annotation struct {
+	Name string // without the "rmq:" prefix
+	Args string // raw argument text, "" when absent
+	Pos  token.Pos
+}
+
+// Fields splits the annotation arguments on whitespace.
+func (a *Annotation) Fields() []string { return strings.Fields(a.Args) }
+
+// Annotations indexes every //rmq:* comment of a package by file and
+// line.
+type Annotations struct {
+	fset   *token.FileSet
+	byLine map[string]map[int][]Annotation
+	pkg    []Annotation // annotations in package doc comments
+}
+
+// ParseAnnotations extracts the //rmq:* annotations of the files.
+func ParseAnnotations(fset *token.FileSet, files []*ast.File) *Annotations {
+	anns := &Annotations{fset: fset, byLine: make(map[string]map[int][]Annotation)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				ann, ok := parseAnnotation(c)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := anns.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]Annotation)
+					anns.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], ann)
+			}
+		}
+		if f.Doc != nil {
+			for _, c := range f.Doc.List {
+				if ann, ok := parseAnnotation(c); ok {
+					anns.pkg = append(anns.pkg, ann)
+				}
+			}
+		}
+	}
+	return anns
+}
+
+func parseAnnotation(c *ast.Comment) (Annotation, bool) {
+	text, ok := strings.CutPrefix(c.Text, "//rmq:")
+	if !ok {
+		return Annotation{}, false
+	}
+	text = strings.TrimSpace(text)
+	name := text
+	args := ""
+	if i := strings.IndexAny(text, "( "); i >= 0 {
+		name, args = text[:i], text[i:]
+		if strings.HasPrefix(args, "(") {
+			args = strings.TrimPrefix(args, "(")
+			args = strings.TrimSuffix(strings.TrimSpace(args), ")")
+		}
+		args = strings.TrimSpace(args)
+	}
+	if name == "" {
+		return Annotation{}, false
+	}
+	return Annotation{Name: name, Args: args, Pos: c.Pos()}, true
+}
+
+// At returns the annotation with the given name on the line of pos or
+// the line directly above it — the binding rule for site-level
+// escapes like //rmq:allow-alloc(reason).
+func (a *Annotations) At(pos token.Pos, name string) *Annotation {
+	p := a.fset.Position(pos)
+	lines := a.byLine[p.Filename]
+	for _, line := range [2]int{p.Line, p.Line - 1} {
+		for i := range lines[line] {
+			if lines[line][i].Name == name {
+				return &lines[line][i]
+			}
+		}
+	}
+	return nil
+}
+
+// Allowed reports whether a site-level escape annotation with the given
+// name and a non-empty reason covers pos.
+func (a *Annotations) Allowed(pos token.Pos, name string) bool {
+	ann := a.At(pos, name)
+	return ann != nil && ann.Args != ""
+}
+
+// FuncAnn returns the annotation with the given name in the function's
+// doc comment, or on the line directly above the declaration when the
+// doc comment was not attached (e.g. after a blank line).
+func (a *Annotations) FuncAnn(decl *ast.FuncDecl, name string) *Annotation {
+	if decl.Doc != nil {
+		for _, c := range decl.Doc.List {
+			if ann, ok := parseAnnotation(c); ok && ann.Name == name {
+				return &ann
+			}
+		}
+	}
+	return a.At(decl.Pos(), name)
+}
+
+// FieldAnn returns the annotation with the given name attached to a
+// struct field: in its doc comment, its trailing line comment, or the
+// line above.
+func (a *Annotations) FieldAnn(field *ast.Field, name string) *Annotation {
+	for _, cg := range [2]*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if ann, ok := parseAnnotation(c); ok && ann.Name == name {
+				return &ann
+			}
+		}
+	}
+	return a.At(field.Pos(), name)
+}
+
+// PackageAnn returns the package-level annotation with the given name
+// (from any file's package doc comment), or nil.
+func (a *Annotations) PackageAnn(name string) *Annotation {
+	for i := range a.pkg {
+		if a.pkg[i].Name == name {
+			return &a.pkg[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,180 @@
+// Package benchtimer implements the rmqlint analyzer that keeps
+// reporting and logging out of timed benchmark loops.
+//
+// The benchmark subsystem (internal/benchio) diffs ns/op against
+// committed baselines with a threshold gate in CI, so a benchmark that
+// spends timed iterations formatting output measures the formatting,
+// not the kernel — exactly the bug class an earlier change fixed by
+// moving reporting behind StopTimer/StartTimer pairs. The analyzer
+// finds the timed loop of every Benchmark function (`for i := 0; i <
+// b.N; i++`, `for range b.N`, or `for b.Loop()`) and walks its body
+// linearly, tracking the timer state through StopTimer / StartTimer /
+// ResetTimer calls. While the timer is running it reports calls to
+// testing.B reporting methods (ReportMetric, Log, Logf, Error, Fatal,
+// Skip variants) and to the fmt package. Deliberate exceptions carry
+// //rmq:allow-bench(reason).
+package benchtimer
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"rmq/internal/analysis"
+)
+
+// Analyzer is the benchtimer pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "benchtimer",
+	Doc:  "report reporting/logging inside timed benchmark loops without StopTimer",
+	Run:  run,
+}
+
+// reporting are the testing.B methods that belong outside timed loops.
+var reporting = map[string]bool{
+	"ReportMetric": true, "Log": true, "Logf": true,
+	"Error": true, "Errorf": true, "Fatal": true, "Fatalf": true,
+	"Skip": true, "Skipf": true,
+}
+
+func run(pass *analysis.Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !strings.HasPrefix(fd.Name.Name, "Benchmark") {
+				continue
+			}
+			b := benchParam(info, fd)
+			if b == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if body := timedLoopBody(info, n, b); body != nil {
+					checkTimedBody(pass, info, b, body)
+					return false
+				}
+				return true
+			})
+		}
+	}
+}
+
+// benchParam returns the *testing.B parameter object of a Benchmark
+// function, or nil.
+func benchParam(info *types.Info, fd *ast.FuncDecl) *types.Var {
+	obj, ok := info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	params := obj.Type().(*types.Signature).Params()
+	if params.Len() != 1 || !isTestingB(params.At(0).Type()) {
+		return nil
+	}
+	return params.At(0)
+}
+
+func isTestingB(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "testing" && obj.Name() == "B"
+}
+
+// timedLoopBody recognizes the three timed-loop shapes and returns the
+// loop body, or nil.
+func timedLoopBody(info *types.Info, n ast.Node, b *types.Var) *ast.BlockStmt {
+	switch loop := n.(type) {
+	case *ast.ForStmt:
+		// for i := 0; i < b.N; i++ — any condition mentioning b.N.
+		if loop.Cond != nil && mentionsBField(info, loop.Cond, b, "N") {
+			return loop.Body
+		}
+		// for b.Loop()
+		if call, ok := loop.Cond.(*ast.CallExpr); ok {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok &&
+				sel.Sel.Name == "Loop" && usesVar(info, sel.X, b) {
+				return loop.Body
+			}
+		}
+	case *ast.RangeStmt:
+		// for range b.N
+		if mentionsBField(info, loop.X, b, "N") {
+			return loop.Body
+		}
+	}
+	return nil
+}
+
+func mentionsBField(info *types.Info, e ast.Expr, b *types.Var, field string) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel.Name == field && usesVar(info, sel.X, b) {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+func usesVar(info *types.Info, e ast.Expr, v *types.Var) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && info.Uses[id] == v
+}
+
+// checkTimedBody walks the timed loop body in source order, tracking
+// whether the benchmark timer is running, and reports reporting work
+// done while it is.
+func checkTimedBody(pass *analysis.Pass, info *types.Info, b *types.Var, body *ast.BlockStmt) {
+	running := true
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		if n == nil {
+			return
+		}
+		if fl, ok := n.(*ast.FuncLit); ok {
+			_ = fl
+			return // runs under its own control (b.RunParallel etc.)
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			for _, arg := range call.Args {
+				walk(arg)
+			}
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && usesVar(info, sel.X, b) {
+				switch sel.Sel.Name {
+				case "StopTimer":
+					running = false
+				case "StartTimer", "ResetTimer":
+					running = true
+				default:
+					if running && reporting[sel.Sel.Name] && !pass.Ann.Allowed(call.Pos(), "allow-bench") {
+						pass.Reportf(call.Pos(), "b.%s inside the timed benchmark loop skews ns/op; move it out or wrap in StopTimer/StartTimer", sel.Sel.Name)
+					}
+				}
+				return
+			}
+			if callee := analysis.CalleeOf(info, call); callee != nil && callee.Pkg() != nil && callee.Pkg().Path() == "fmt" {
+				if running && !pass.Ann.Allowed(call.Pos(), "allow-bench") {
+					pass.Reportf(call.Pos(), "fmt.%s inside the timed benchmark loop skews ns/op; move it out or wrap in StopTimer/StartTimer", callee.Name())
+				}
+				return
+			}
+			return
+		}
+		ast.Inspect(n, func(child ast.Node) bool {
+			if child == n {
+				return true
+			}
+			walk(child)
+			return false
+		})
+	}
+	walk(body)
+}

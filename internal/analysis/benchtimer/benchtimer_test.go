@@ -1,0 +1,12 @@
+package benchtimer_test
+
+import (
+	"testing"
+
+	"rmq/internal/analysis/analysistest"
+	"rmq/internal/analysis/benchtimer"
+)
+
+func TestBenchTimer(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), benchtimer.Analyzer, "bench")
+}

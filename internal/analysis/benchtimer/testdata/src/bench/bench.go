@@ -1,0 +1,62 @@
+// Package bench exercises the benchtimer analyzer on the three timed
+// loop shapes and the StopTimer/StartTimer discipline.
+package bench
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkReporting(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		work()
+		b.ReportMetric(1, "x/op") // want `b.ReportMetric inside the timed benchmark loop skews ns/op`
+	}
+}
+
+func BenchmarkFmtInRange(b *testing.B) {
+	for range b.N {
+		_ = fmt.Sprintf("step") // want `fmt.Sprintf inside the timed benchmark loop skews ns/op`
+	}
+}
+
+func BenchmarkLogInLoop(b *testing.B) {
+	for b.Loop() {
+		b.Log("x") // want `b.Log inside the timed benchmark loop skews ns/op`
+	}
+}
+
+func BenchmarkStopped(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		work()
+		b.StopTimer()
+		b.ReportMetric(1, "x/op") // fine: the timer is stopped
+		b.StartTimer()
+	}
+}
+
+func BenchmarkRestarted(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		setup()
+		b.StartTimer()
+		work()
+		b.Log("x") // want `b.Log inside the timed benchmark loop skews ns/op`
+	}
+}
+
+func BenchmarkAfterLoop(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		work()
+	}
+	b.ReportMetric(1, "x/op") // fine: outside the timed loop
+}
+
+func BenchmarkAllowed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.ReportMetric(1, "x/op") //rmq:allow-bench(the metric call is what is being measured)
+	}
+}
+
+func work()  {}
+func setup() {}

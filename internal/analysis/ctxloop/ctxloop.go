@@ -1,0 +1,189 @@
+// Package ctxloop implements the rmqlint analyzer that keeps unbounded
+// loops cancelable.
+//
+// Anytime optimization lives or dies by cancellation: the driver loop
+// checks ctx.Err() between steps, the server maps deadlines and client
+// disconnects onto contexts, and a single unbounded loop that forgets
+// to look at its context turns a timeout into a hang. A package opts
+// in with //rmq:cancelable in its package doc comment; in such
+// packages (non-test files) the analyzer reports
+//
+//   - unbounded loops — `for { … }` and `for cond { … }` (counted
+//     loops and range loops are bounded by construction) — whose body
+//     neither consults a context (ctx.Err(), ctx.Done(), a select on
+//     Done) nor passes its context on to a callee that does the
+//     checking (the opt.Drive pattern), and
+//   - HTTP handlers that call context.Background or context.TODO
+//     instead of propagating the request context.
+//
+// Loops bounded by other means (step budgets, draining a queue that
+// only shrinks) carry //rmq:allow-loop(reason).
+package ctxloop
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"rmq/internal/analysis"
+)
+
+// Analyzer is the ctxloop pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxloop",
+	Doc:  "require unbounded loops in //rmq:cancelable packages to observe a context",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) {
+	if pass.Ann.PackageAnn("cancelable") == nil {
+		return
+	}
+	info := pass.Pkg.Info
+	for i, file := range pass.Pkg.Files {
+		if pass.Pkg.Test[i] {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ForStmt:
+				checkLoop(pass, info, n)
+			case *ast.FuncDecl:
+				if n.Body != nil && isHandler(info, n) {
+					checkHandler(pass, info, n)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkLoop flags unbounded for statements that never observe a
+// context. A loop with a post statement is a counted loop; a range
+// loop never reaches here.
+func checkLoop(pass *analysis.Pass, info *types.Info, loop *ast.ForStmt) {
+	if loop.Post != nil || loop.Init != nil {
+		return
+	}
+	if pass.Ann.Allowed(loop.Pos(), "allow-loop") {
+		return
+	}
+	if observesContext(info, loop.Body) {
+		return
+	}
+	pass.Reportf(loop.Pos(), "unbounded loop does not observe a context (no ctx.Err/ctx.Done check and no context passed on); add one or annotate //rmq:allow-loop(reason)")
+}
+
+// observesContext reports whether the statement body consults a
+// context.Context: calls Err or Done on one, receives from a done
+// channel (including one hoisted out of the loop, `done := ctx.Done()`
+// then `<-done` — the idiomatic hot-loop form), or passes a context
+// value to a callee (delegated cancellation, e.g. opt.Drive).
+func observesContext(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if recv, ok := n.(*ast.UnaryExpr); ok && recv.Op == token.ARROW {
+			if isDoneChan(info.Types[recv.X].Type) {
+				found = true
+				return false
+			}
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if (sel.Sel.Name == "Err" || sel.Sel.Name == "Done") && isContext(info.Types[sel.X].Type) {
+				found = true
+				return false
+			}
+		}
+		for _, arg := range call.Args {
+			if isContext(info.Types[arg].Type) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isDoneChan reports whether t is `<-chan struct{}`, the type of
+// ctx.Done() — a receive from one is a cancellation observation even
+// when the channel was hoisted into a local before the loop.
+func isDoneChan(t types.Type) bool {
+	ch, ok := types.Unalias(t).(*types.Chan)
+	if !ok || ch.Dir() != types.RecvOnly {
+		return false
+	}
+	s, ok := ch.Elem().Underlying().(*types.Struct)
+	return ok && s.NumFields() == 0
+}
+
+// isContext reports whether t is context.Context.
+func isContext(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// isHandler reports whether the function has the http.HandlerFunc
+// shape (w http.ResponseWriter, r *http.Request).
+func isHandler(info *types.Info, decl *ast.FuncDecl) bool {
+	obj, ok := info.Defs[decl.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	params := obj.Type().(*types.Signature).Params()
+	if params.Len() != 2 {
+		return false
+	}
+	return isNamed(params.At(0).Type(), "net/http", "ResponseWriter") &&
+		isPtrToNamed(params.At(1).Type(), "net/http", "Request")
+}
+
+func isNamed(t types.Type, path, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == path && obj.Name() == name
+}
+
+func isPtrToNamed(t types.Type, path, name string) bool {
+	ptr, ok := t.(*types.Pointer)
+	return ok && isNamed(ptr.Elem(), path, name)
+}
+
+// checkHandler flags fresh root contexts inside an HTTP handler: the
+// request context is the one that carries the deadline and the client
+// disconnect.
+func checkHandler(pass *analysis.Pass, info *types.Info, decl *ast.FuncDecl) {
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := analysis.CalleeOf(info, call)
+		if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "context" {
+			return true
+		}
+		if name := callee.Name(); name == "Background" || name == "TODO" {
+			if !pass.Ann.Allowed(call.Pos(), "allow-loop") {
+				pass.Reportf(call.Pos(), "HTTP handler creates context.%s; propagate r.Context() so deadlines and disconnects cancel the work", name)
+			}
+		}
+		return true
+	})
+}

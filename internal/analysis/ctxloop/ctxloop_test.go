@@ -1,0 +1,12 @@
+package ctxloop_test
+
+import (
+	"testing"
+
+	"rmq/internal/analysis/analysistest"
+	"rmq/internal/analysis/ctxloop"
+)
+
+func TestCtxLoop(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), ctxloop.Analyzer, "loops")
+}

@@ -1,0 +1,99 @@
+// Package loops exercises the ctxloop analyzer in an opted-in package.
+//
+//rmq:cancelable
+package loops
+
+import (
+	"context"
+	"net/http"
+)
+
+func spin() {
+	for { // want `unbounded loop does not observe a context`
+		work()
+	}
+}
+
+func condSpin(done bool) {
+	for !done { // want `unbounded loop does not observe a context`
+		done = step2()
+	}
+}
+
+func polite(ctx context.Context) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		work()
+	}
+}
+
+func selecting(ctx context.Context, ch chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case v := <-ch:
+			_ = v
+		}
+	}
+}
+
+// hoisted observes cancellation through a done channel captured before
+// the loop — the idiomatic hot-loop form that avoids the interface call
+// per iteration.
+func hoisted(ctx context.Context, ch chan int) {
+	done := ctx.Done()
+	for {
+		select {
+		case <-done:
+			return
+		case v := <-ch:
+			_ = v
+		}
+	}
+}
+
+// delegated passes its context to the callee each turn — the opt.Drive
+// pattern, where the driver does the checking.
+func delegated(ctx context.Context) {
+	for {
+		if !step(ctx) {
+			return
+		}
+	}
+}
+
+func counted(n int) {
+	for i := 0; i < n; i++ {
+		work()
+	}
+}
+
+func ranged(xs []int) {
+	for range xs {
+		work()
+	}
+}
+
+func budgeted(n int) {
+	//rmq:allow-loop(bounded by the caller's step budget)
+	for n > 0 {
+		n--
+	}
+}
+
+func handler(w http.ResponseWriter, r *http.Request) {
+	ctx := context.Background() // want `HTTP handler creates context.Background; propagate r.Context\(\)`
+	_ = ctx
+	work()
+}
+
+func goodHandler(w http.ResponseWriter, r *http.Request) {
+	step(r.Context())
+}
+
+func step(ctx context.Context) bool { return ctx.Err() == nil }
+func step2() bool                   { return true }
+func work()                         {}

@@ -1,0 +1,12 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"rmq/internal/analysis/analysistest"
+	"rmq/internal/analysis/detrand"
+)
+
+func TestDetRand(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), detrand.Analyzer, "det", "detoff")
+}

@@ -1,0 +1,64 @@
+// Package det exercises the detrand analyzer in an opted-in package.
+//
+//rmq:deterministic
+package det
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+func clock() int64 {
+	return time.Now().UnixNano() // want `time.Now reads the wall clock in a //rmq:deterministic package`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time.Since reads the wall clock`
+}
+
+func globalRand() int {
+	return rand.IntN(10) // want `math/rand/v2.IntN uses the global auto-seeded source`
+}
+
+func seeded(r *rand.Rand) int {
+	return r.IntN(10) // methods on a seeded source are the deterministic path
+}
+
+func newSeeded(s1, s2 uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(s1, s2)) // constructors are fine
+}
+
+func ordered(m map[int]int) []int {
+	var out []int
+	for k := range m { // want `map iteration order feeds an append`
+		out = append(out, k)
+	}
+	return out
+}
+
+func sends(m map[int]int, ch chan int) {
+	for k := range m { // want `map iteration order feeds a channel send`
+		ch <- k
+	}
+}
+
+func counting(m map[int]int) int {
+	n := 0
+	for range m { // order-insensitive aggregation is fine
+		n++
+	}
+	return n
+}
+
+func allowedClock() int64 {
+	return time.Now().UnixNano() //rmq:allow-detrand(progress timestamps never feed the trajectory)
+}
+
+func allowedRange(m map[int]int) []int {
+	var out []int
+	//rmq:allow-detrand(caller sorts before use)
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,7 @@
+// Package detoff has no //rmq:deterministic annotation, so nothing is
+// flagged.
+package detoff
+
+import "time"
+
+func clock() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,349 @@
+// Package hotalloc implements the rmqlint analyzer that keeps the
+// optimizer's hot path allocation-free.
+//
+// The steady-state inner loop (random plan → in-place Pareto climb →
+// frontier/cache update) was made allocation-free by an earlier change
+// and is guarded at a few entry points by testing.AllocsPerRun probes.
+// Those probes sample specific call paths; this analyzer makes the
+// invariant total. A function annotated //rmq:hotpath must not contain
+// heap-allocation sites, and neither may any function it statically
+// calls: same-package callees are checked transitively, while calls
+// that cross a package boundary inside the module must target a
+// function that is itself annotated //rmq:hotpath — so the annotations
+// trace the hot path through the module, and removing one from a
+// function that the hot path still calls is itself a finding.
+//
+// Alloc sites flagged: make, new, append (growth), func literals
+// (closure capture), go statements, slice/map/pointer composite
+// literals, non-constant string concatenation, string↔[]byte/[]rune
+// conversions, map writes, boxing a non-pointer-shaped value into an
+// interface, and calls to known-allocating standard library functions
+// (fmt, sort.Slice…). Sites that are provably amortized or off the
+// steady state are annotated //rmq:allow-alloc(reason) — the escape
+// hatch doubles as documentation of why the allocation is acceptable.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"rmq/internal/analysis"
+)
+
+// Analyzer is the hotalloc pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc:  "report heap allocations in //rmq:hotpath functions and their static callees",
+	Run:  run,
+}
+
+// hotFact marks an exported object as //rmq:hotpath-annotated, making
+// it a legal cross-package callee for hot functions of importing
+// packages.
+type hotFact struct{}
+
+// allocDeny lists standard library calls that always allocate; keyed by
+// package path, with an empty function set meaning the whole package.
+var allocDeny = map[string]map[string]bool{
+	"fmt":     nil, // every fmt call boxes its arguments
+	"reflect": nil,
+	"sort":    {"Slice": true, "SliceStable": true, "Strings": true, "Ints": true},
+	"strings": {"Join": true, "Repeat": true, "Split": true, "Fields": true},
+	"errors":  {"New": true},
+}
+
+func run(pass *analysis.Pass) {
+	fns := analysis.FuncsOf(pass.Pkg)
+	byObj := make(map[*types.Func]*ast.FuncDecl, len(fns))
+	hot := make(map[*types.Func]bool)
+	for obj, decl := range fns {
+		byObj[obj] = decl
+		if pass.Ann.FuncAnn(decl, "hotpath") != nil {
+			hot[obj] = true
+			pass.ExportFact(analysis.ObjKey(obj), hotFact{})
+		}
+	}
+
+	c := &checker{pass: pass, byObj: byObj, hot: hot, checked: make(map[*types.Func]bool)}
+	for obj := range hot {
+		c.check(obj, "")
+	}
+}
+
+type checker struct {
+	pass    *analysis.Pass
+	byObj   map[*types.Func]*ast.FuncDecl
+	hot     map[*types.Func]bool
+	checked map[*types.Func]bool
+}
+
+// check walks one function's body for allocation sites, then follows
+// its same-package static calls. via names the hot function through
+// which an un-annotated function was reached ("" for annotated roots).
+func (c *checker) check(obj *types.Func, via string) {
+	if c.checked[obj] {
+		return
+	}
+	c.checked[obj] = true
+	decl := c.byObj[obj]
+	if decl == nil || c.pass.IsTestFile(decl.Pos()) {
+		return
+	}
+	where := ""
+	if via != "" {
+		where = " (reached from //rmq:hotpath " + via + ")"
+	}
+	root := via
+	if root == "" {
+		root = obj.Name()
+	}
+	info := c.pass.Pkg.Info
+
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			c.reportf(n.Pos(), "func literal allocates a closure in hot path%s", where)
+			return false // the literal runs outside the annotated path
+		case *ast.GoStmt:
+			c.reportf(n.Pos(), "go statement allocates a goroutine in hot path%s", where)
+			return false
+		case *ast.CallExpr:
+			c.call(n, where, root)
+		case *ast.CompositeLit:
+			c.composite(n, where)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					c.reportf(n.Pos(), "&composite literal allocates in hot path%s", where)
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(info, n) && info.Types[n].Value == nil {
+				c.reportf(n.Pos(), "string concatenation allocates in hot path%s", where)
+			}
+		case *ast.AssignStmt:
+			c.assign(n, where)
+		case *ast.ValueSpec:
+			c.valueSpec(n, where)
+		case *ast.ReturnStmt:
+			c.returns(decl, n, where)
+		}
+		return true
+	})
+}
+
+// call classifies one call expression: builtin allocators, string
+// conversions, denylisted standard library calls, and the module-wide
+// hot-path discipline for static callees.
+func (c *checker) call(call *ast.CallExpr, where, root string) {
+	info := c.pass.Pkg.Info
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				c.reportf(call.Pos(), "make allocates in hot path%s", where)
+			case "new":
+				c.reportf(call.Pos(), "new allocates in hot path%s", where)
+			case "append":
+				c.reportf(call.Pos(), "append may grow its backing array in hot path%s", where)
+			}
+			return
+		}
+	}
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		// Conversion: string ↔ []byte/[]rune copies.
+		to := tv.Type.Underlying()
+		if len(call.Args) == 1 {
+			from := info.Types[call.Args[0]].Type
+			if from != nil && isStringBytesConv(from.Underlying(), to) && info.Types[call.Args[0]].Value == nil {
+				c.reportf(call.Pos(), "string conversion allocates in hot path%s", where)
+			}
+		}
+		return
+	}
+
+	c.boxedArgs(call, where)
+
+	callee := analysis.CalleeOf(info, call)
+	if callee == nil || callee.Pkg() == nil {
+		return
+	}
+	switch pkg := callee.Pkg(); {
+	case pkg == c.pass.Pkg.Types:
+		// Same package: the callee inherits the hot context and is
+		// checked transitively; annotated callees are roots already,
+		// and //rmq:allow-alloc on the call stops the propagation (a
+		// documented cold branch off the hot path).
+		if !c.hot[callee] && !c.allowed(call.Pos()) {
+			c.check(callee, root)
+		}
+	case isModulePath(pkg.Path()):
+		if c.allowed(call.Pos()) {
+			return
+		}
+		if _, hot := c.pass.ImportFact(analysis.ObjKey(callee)); !hot {
+			c.reportf(call.Pos(), "hot path calls %s.%s, which is not annotated //rmq:hotpath%s",
+				pkg.Path(), callee.Name(), where)
+		}
+	default:
+		funcs, deny := allocDeny[pkg.Path()]
+		if deny && (funcs == nil || funcs[callee.Name()]) {
+			c.reportf(call.Pos(), "call to %s.%s allocates in hot path%s", pkg.Path(), callee.Name(), where)
+		}
+	}
+}
+
+// boxedArgs flags arguments whose concrete, non-pointer-shaped values
+// are converted to interface parameters — the boxing allocation.
+func (c *checker) boxedArgs(call *ast.CallExpr, where string) {
+	info := c.pass.Pkg.Info
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				pt = params.At(params.Len() - 1).Type()
+			} else {
+				pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		c.boxed(arg, pt, "argument", where)
+	}
+}
+
+func (c *checker) composite(lit *ast.CompositeLit, where string) {
+	t := c.pass.Pkg.Info.Types[lit].Type
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		c.reportf(lit.Pos(), "slice literal allocates in hot path%s", where)
+	case *types.Map:
+		c.reportf(lit.Pos(), "map literal allocates in hot path%s", where)
+	}
+}
+
+func (c *checker) assign(n *ast.AssignStmt, where string) {
+	info := c.pass.Pkg.Info
+	if n.Tok == token.ASSIGN {
+		for _, lhs := range n.Lhs {
+			if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+				if t := info.Types[ix.X].Type; t != nil {
+					if _, ok := t.Underlying().(*types.Map); ok {
+						c.reportf(n.Pos(), "map write may allocate in hot path%s", where)
+					}
+				}
+			}
+		}
+	}
+	if n.Tok != token.ASSIGN || len(n.Lhs) != len(n.Rhs) {
+		return
+	}
+	for i, lhs := range n.Lhs {
+		if lt := info.Types[lhs].Type; lt != nil {
+			c.boxed(n.Rhs[i], lt, "assignment", where)
+		}
+	}
+}
+
+func (c *checker) valueSpec(n *ast.ValueSpec, where string) {
+	if n.Type == nil {
+		return
+	}
+	t := c.pass.Pkg.Info.Types[n.Type].Type
+	for _, v := range n.Values {
+		c.boxed(v, t, "assignment", where)
+	}
+}
+
+func (c *checker) returns(decl *ast.FuncDecl, n *ast.ReturnStmt, where string) {
+	obj, ok := c.pass.Pkg.Info.Defs[decl.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	results := obj.Type().(*types.Signature).Results()
+	if results.Len() != len(n.Results) {
+		return
+	}
+	for i, r := range n.Results {
+		c.boxed(r, results.At(i).Type(), "return", where)
+	}
+}
+
+// boxed reports expr when placing it into dst converts a concrete,
+// non-pointer-shaped value to an interface — pointers, channels, maps
+// and funcs are stored in the interface word directly and do not
+// allocate.
+func (c *checker) boxed(expr ast.Expr, dst types.Type, ctx, where string) {
+	if dst == nil || !types.IsInterface(dst) {
+		return
+	}
+	tv, ok := c.pass.Pkg.Info.Types[expr]
+	if !ok || tv.Type == nil || types.IsInterface(tv.Type) {
+		return
+	}
+	if tv.IsNil() {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return
+	}
+	c.reportf(expr.Pos(), "%s boxes %s into an interface in hot path%s", ctx, types.TypeString(tv.Type, types.RelativeTo(c.pass.Pkg.Types)), where)
+}
+
+func (c *checker) reportf(pos token.Pos, format string, args ...any) {
+	if !c.allowed(pos) {
+		c.pass.Reportf(pos, format, args...)
+	}
+}
+
+func (c *checker) allowed(pos token.Pos) bool {
+	return c.pass.Ann.Allowed(pos, "allow-alloc")
+}
+
+func isString(info *types.Info, e ast.Expr) bool {
+	t := info.Types[e].Type
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isStringBytesConv(from, to types.Type) bool {
+	return (isBasicString(from) && isByteOrRuneSlice(to)) ||
+		(isByteOrRuneSlice(from) && isBasicString(to))
+}
+
+func isBasicString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// isModulePath reports whether the import path belongs to this module.
+func isModulePath(path string) bool {
+	return path == "rmq" || len(path) > 4 && path[:4] == "rmq/"
+}

@@ -1,0 +1,20 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"rmq/internal/analysis/analysistest"
+	"rmq/internal/analysis/hotalloc"
+)
+
+func TestHotalloc(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), hotalloc.Analyzer, "a")
+}
+
+// TestCrossPackage pins the module-internal call rule: a hot function
+// calling across a package boundary requires the callee to be
+// annotated //rmq:hotpath, which is what makes removing an annotation
+// from a still-called hot function a lint failure.
+func TestCrossPackage(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), hotalloc.Analyzer, "rmq/hotdep", "rmq/hotuse")
+}

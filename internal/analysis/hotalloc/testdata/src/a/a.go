@@ -1,0 +1,71 @@
+// Package a exercises the hotalloc analyzer within one package:
+// alloc-site detection, same-package propagation, and the
+// //rmq:allow-alloc escape hatch.
+package a
+
+import "fmt"
+
+type point struct{ x, y int }
+
+//rmq:hotpath
+func Hot(xs []int, m map[int]int, s string) int {
+	v := make([]int, 8)          // want `make allocates in hot path`
+	p := new(int)                // want `new allocates in hot path`
+	xs = append(xs, 1)           // want `append may grow its backing array in hot path`
+	f := func() int { return 2 } // want `func literal allocates a closure in hot path`
+	m[1] = 2                     // want `map write may allocate in hot path`
+	t := s + "!"                 // want `string concatenation allocates in hot path`
+	bs := []byte(s)              // want `string conversion allocates in hot path`
+	sl := []int{1, 2}            // want `slice literal allocates in hot path`
+	mm := map[int]int{}          // want `map literal allocates in hot path`
+	q := &point{1, 2}            // want `&composite literal allocates in hot path`
+	w := make([]int, 4)          //rmq:allow-alloc(scratch reused across steps)
+	return v[0] + *p + xs[0] + f() + len(t) + len(bs) + sl[0] + len(mm) + q.x + w[0]
+}
+
+//rmq:hotpath
+func HotSpawn(xs []int) {
+	go cold(xs) // want `go statement allocates a goroutine in hot path`
+}
+
+//rmq:hotpath
+func HotBox(v int) any {
+	return v // want `return boxes int into an interface in hot path`
+}
+
+//rmq:hotpath
+func HotBoxArg(v point) {
+	sink(v) // want `argument boxes point into an interface in hot path`
+}
+
+//rmq:hotpath
+func HotPtrBox(p *point) any {
+	return p // pointers are stored in the interface word directly
+}
+
+//rmq:hotpath
+func HotPrint(v int) {
+	fmt.Println(v) // want `call to fmt.Println allocates in hot path` `argument boxes int into an interface in hot path`
+}
+
+//rmq:hotpath
+func HotCaller() int {
+	return helper() + coldPath()
+}
+
+// helper is not annotated, but HotCaller reaches it: its sites are
+// checked with the hot root named.
+func helper() int {
+	v := make([]int, 1) // want `make allocates in hot path \(reached from //rmq:hotpath HotCaller\)`
+	return v[0]
+}
+
+func coldPath() int { return 3 }
+
+// cold is never reached from a hot function, so its allocations are
+// fine.
+func cold(xs []int) []int {
+	return append(xs, make([]int, 16)...)
+}
+
+func sink(v any) { _ = v }

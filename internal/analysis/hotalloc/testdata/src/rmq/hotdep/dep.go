@@ -1,0 +1,11 @@
+// Package dep is the callee side of the cross-package hotalloc
+// fixture: one annotated hot function, one unannotated allocating one.
+package dep
+
+//rmq:hotpath
+func Fast(a, b int) int { return a + b }
+
+// Slow is not part of the declared hot path.
+func Slow(n int) []int {
+	return make([]int, n)
+}

@@ -1,0 +1,14 @@
+// Package use is the caller side of the cross-package hotalloc
+// fixture: a hot function may only call module functions that are
+// themselves annotated //rmq:hotpath (or carry a per-call allowance).
+package use
+
+import "rmq/hotdep"
+
+//rmq:hotpath
+func Drive(n int) int {
+	v := dep.Fast(n, 1)
+	s := dep.Slow(n) // want `hot path calls rmq/hotdep.Slow, which is not annotated //rmq:hotpath`
+	t := dep.Slow(n) //rmq:allow-alloc(cold stats branch, taken once per run)
+	return v + len(s) + len(t)
+}

@@ -1,0 +1,135 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rmq/internal/analysis"
+	"rmq/internal/analysis/benchtimer"
+	"rmq/internal/analysis/ctxloop"
+	"rmq/internal/analysis/detrand"
+	"rmq/internal/analysis/hotalloc"
+	"rmq/internal/analysis/load"
+	"rmq/internal/analysis/lockorder"
+)
+
+// These tests run the full rmqlint suite over the real module — the
+// same invocation CI gates on — and then prove the gate has teeth: a
+// removed //rmq:hotpath annotation and an inverted lock acquisition
+// must each fail the lint.
+
+var suite = []*analysis.Analyzer{
+	hotalloc.Analyzer,
+	lockorder.Analyzer,
+	detrand.Analyzer,
+	ctxloop.Analyzer,
+	benchtimer.Analyzer,
+}
+
+// moduleRoot is the repository root relative to this package directory.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+func readFile(t *testing.T, path string) string {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func runSuite(t *testing.T, cfg load.Config) []analysis.Finding {
+	t.Helper()
+	pkgs, fset, err := load.Load(cfg, "./...")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	return analysis.NewDriver(suite...).Run(fset, pkgs)
+}
+
+// TestTreeIsClean is the CI invariant: the committed tree carries no
+// analyzer findings. A failure here lists exactly what `make lint`
+// would reject.
+func TestTreeIsClean(t *testing.T) {
+	cfg := load.Config{Dir: moduleRoot(t), Tests: true}
+	for _, f := range runSuite(t, cfg) {
+		t.Errorf("unexpected finding: %s", f)
+	}
+}
+
+// TestUnannotatedHotCalleeFails re-lints the tree with the
+// //rmq:hotpath annotation stripped from plan.JoinOp.Output — a
+// function that hot code in other packages calls. The cross-package
+// rule must then reject those call sites, which is what stops an
+// annotation from being deleted while callers still rely on it.
+func TestUnannotatedHotCalleeFails(t *testing.T) {
+	root := moduleRoot(t)
+	src := readFile(t, filepath.Join(root, "internal", "plan", "plan.go"))
+	const ann = "//rmq:hotpath\nfunc (op JoinOp) Output() OutputProp {"
+	if !strings.Contains(src, ann) {
+		t.Fatalf("internal/plan/plan.go no longer matches the expected annotation on JoinOp.Output; update this test")
+	}
+	stripped := strings.Replace(src, ann, "func (op JoinOp) Output() OutputProp {", 1)
+	cfg := load.Config{
+		Dir:     root,
+		Tests:   true,
+		Overlay: map[string][]byte{filepath.Join(root, "internal", "plan", "plan.go"): []byte(stripped)},
+	}
+	findings := runSuite(t, cfg)
+	found := false
+	for _, f := range findings {
+		if f.Analyzer == "hotalloc" && strings.Contains(f.Message, "rmq/internal/plan.Output") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("stripping //rmq:hotpath from JoinOp.Output produced no hotalloc finding; got %d finding(s): %v", len(findings), findings)
+	}
+}
+
+// TestInvertedLockOrderFails adds a probe function to internal/cache
+// that acquires the store lock while holding a bucket lock — the
+// deadlock-prone inversion of the declared store→bucket order — and
+// requires lockorder to reject it.
+func TestInvertedLockOrderFails(t *testing.T) {
+	cfg := load.Config{
+		Dir:   moduleRoot(t),
+		Tests: true,
+		ExtraFiles: map[string]map[string]string{
+			"rmq/internal/cache": {
+				"lockprobe_extra.go": `package cache
+
+// lockProbeInverted acquires store under bucket — the inversion the
+// lockorder analyzer exists to reject.
+func lockProbeInverted(s *Shared, sb *sharedBucket) {
+	sb.mu.Lock()
+	s.mu.Lock()
+	s.mu.Unlock()
+	sb.mu.Unlock()
+}
+`,
+			},
+		},
+	}
+	findings := runSuite(t, cfg)
+	found := false
+	for _, f := range findings {
+		if f.Analyzer == "lockorder" && strings.Contains(f.Message, "while holding bucket") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("inverted acquisition produced no lockorder finding; got %d finding(s): %v", len(findings), findings)
+	}
+}

@@ -1,0 +1,457 @@
+// Package load turns Go package patterns into parsed, type-checked
+// packages for the rmqlint analyzers, using nothing but the standard
+// library and the go command already on the machine.
+//
+// Module packages are type-checked from source (so analyzers see the
+// AST, comments and test files), in dependency order, and imports of
+// one module package by another resolve to the source-checked package —
+// one consistent object identity across the whole module. Standard
+// library imports resolve through compiler export data produced by
+// `go list -export`, which builds into the local build cache and works
+// fully offline. This is the same split go/packages makes; it is
+// reimplemented here because the module deliberately has no external
+// dependencies (see go.mod) and golang.org/x/tools is not among the
+// baked-in toolchain packages.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one type-checked package: syntax, types and the file
+// classification the analyzers need.
+type Package struct {
+	Path  string // import path ("rmq/internal/cache"; xtest packages get a "_test" suffix)
+	Name  string // package name
+	Dir   string
+	Files []*ast.File
+	// Test reports, per Files index, whether the file is a _test.go
+	// file (in-package test files are checked together with the
+	// production files; external test packages are separate Packages
+	// with Test true for every file).
+	Test  []bool
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Config adjusts a Load call.
+type Config struct {
+	// Dir is the module directory to run the go command in. Empty means
+	// the current directory.
+	Dir string
+	// Overlay maps absolute file paths to replacement contents, letting
+	// callers analyze modified sources without touching the tree (the
+	// integration tests re-lint comment-stripped copies this way).
+	Overlay map[string][]byte
+	// ExtraFiles maps an import path to additional named sources that
+	// are parsed and type-checked as part of that package, as if they
+	// were files on disk next to it.
+	ExtraFiles map[string]map[string]string
+	// Tests includes _test.go files (in-package files join their
+	// package; external test packages are appended as separate
+	// Packages).
+	Tests bool
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath   string
+	Name         string
+	Dir          string
+	Standard     bool
+	Export       string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Imports      []string
+	TestImports  []string
+	XTestImports []string
+}
+
+// Load lists the patterns with the go command, then parses and
+// type-checks every matched module package plus its module-internal
+// dependency closure (dependencies first; test files only for the
+// packages the patterns named). The returned packages are in
+// dependency order, external test packages last; the FileSet is shared
+// by all of them.
+func Load(cfg Config, patterns ...string) ([]*Package, *token.FileSet, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	mods, err := goList(cfg.Dir, nil, patterns...)
+	if err != nil {
+		return nil, nil, err
+	}
+	inModule := make(map[string]*listPkg, len(mods))
+	roots := make(map[string]bool, len(mods))
+	for _, p := range mods {
+		if !p.Standard {
+			inModule[p.ImportPath] = p
+			roots[p.ImportPath] = true
+		}
+	}
+	// Module packages must type-check from source even when the patterns
+	// select only a subset: a root and its dependency would otherwise see
+	// two distinct copies of a shared import (one source-checked, one
+	// from export data) and nothing would unify. Expand to the
+	// module-internal import closure; only roots carry test files.
+	nonModule := map[string]bool{"unsafe": true, "C": true}
+	for {
+		var missing []string
+		for _, p := range inModule {
+			for _, imps := range [][]string{p.Imports, p.TestImports, p.XTestImports} {
+				for _, imp := range imps {
+					if inModule[imp] == nil && !nonModule[imp] {
+						nonModule[imp] = true // listed at most once
+						missing = append(missing, imp)
+					}
+				}
+			}
+		}
+		if len(missing) == 0 {
+			break
+		}
+		deps, err := goList(cfg.Dir, nil, missing...)
+		if err != nil {
+			return nil, nil, err
+		}
+		added := false
+		for _, p := range deps {
+			if !p.Standard {
+				delete(nonModule, p.ImportPath)
+				inModule[p.ImportPath] = p
+				added = true
+			}
+		}
+		if !added {
+			break
+		}
+	}
+	// Everything imported from outside the module resolves through
+	// export data; one batched -export -deps call covers the transitive
+	// closure, with a lazy per-path fallback for stragglers.
+	ext := newExportSet(cfg.Dir)
+	var extRoots []string
+	seen := map[string]bool{}
+	for _, p := range inModule {
+		for _, imps := range [][]string{p.Imports, p.TestImports, p.XTestImports} {
+			for _, imp := range imps {
+				if imp != "unsafe" && imp != "C" && inModule[imp] == nil && !seen[imp] {
+					seen[imp] = true
+					extRoots = append(extRoots, imp)
+				}
+			}
+		}
+	}
+	if err := ext.add(extRoots...); err != nil {
+		return nil, nil, err
+	}
+
+	fset := token.NewFileSet()
+	ld := &loader{
+		cfg:     cfg,
+		fset:    fset,
+		checked: make(map[string]*Package),
+		std:     nil,
+	}
+	ld.std = importer.ForCompiler(fset, "gc", ext.lookup)
+
+	order, err := topo(inModule)
+	if err != nil {
+		return nil, nil, err
+	}
+	var pkgs []*Package
+	for _, lp := range order {
+		files := lp.GoFiles
+		var testFiles []string
+		if cfg.Tests && roots[lp.ImportPath] {
+			testFiles = lp.TestGoFiles
+		}
+		pkg, err := ld.check(lp.ImportPath, lp.Name, lp.Dir, files, testFiles)
+		if err != nil {
+			return nil, nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	if cfg.Tests {
+		for _, lp := range order {
+			if len(lp.XTestGoFiles) == 0 || !roots[lp.ImportPath] {
+				continue
+			}
+			pkg, err := ld.check(lp.ImportPath+"_test", lp.Name+"_test", lp.Dir, nil, lp.XTestGoFiles)
+			if err != nil {
+				return nil, nil, err
+			}
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, fset, nil
+}
+
+// Checker type-checks directories of Go files outside any module — the
+// analysistest fixture path. Fixture packages checked earlier are
+// importable by later ones (under their given import paths), so
+// cross-package analyzer behavior (facts) is testable; all other
+// imports resolve to the standard library through export data, with
+// goListDir naming a module directory the go command can run in.
+type Checker struct {
+	ld *loader
+}
+
+// NewChecker returns a fixture checker over the file set.
+func NewChecker(fset *token.FileSet, goListDir string) *Checker {
+	ext := newExportSet(goListDir)
+	return &Checker{ld: &loader{
+		cfg:     Config{Tests: true},
+		fset:    fset,
+		checked: make(map[string]*Package),
+		std:     importer.ForCompiler(fset, "gc", ext.lookup),
+	}}
+}
+
+// CheckDir parses and type-checks every .go file in dir as one package
+// with the given import path.
+func (c *Checker) CheckDir(importPath, dir string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, e.Name())
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("load: no Go files in %s", dir)
+	}
+	return c.ld.check(importPath, "", dir, files, nil)
+}
+
+type loader struct {
+	cfg     Config
+	fset    *token.FileSet
+	checked map[string]*Package // module packages by import path
+	std     types.Importer
+}
+
+// Import resolves one import for the type checker: module packages by
+// their source-checked form, everything else through export data.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p := ld.checked[path]; p != nil {
+		return p.Types, nil
+	}
+	return ld.std.Import(path)
+}
+
+func (ld *loader) check(path, name, dir string, files, testFiles []string) (*Package, error) {
+	pkg := &Package{Path: path, Name: name, Dir: dir}
+	parse := func(base string, test bool) error {
+		full := filepath.Join(dir, base)
+		var src any
+		if ld.cfg.Overlay != nil {
+			if b, ok := ld.cfg.Overlay[full]; ok {
+				src = b
+			}
+		}
+		f, err := parser.ParseFile(ld.fset, full, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return err
+		}
+		pkg.Files = append(pkg.Files, f)
+		pkg.Test = append(pkg.Test, test)
+		return nil
+	}
+	for _, base := range files {
+		if err := parse(base, strings.HasSuffix(base, "_test.go")); err != nil {
+			return nil, err
+		}
+	}
+	for _, base := range testFiles {
+		if err := parse(base, true); err != nil {
+			return nil, err
+		}
+	}
+	for fname, src := range ld.cfg.ExtraFiles[path] {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, fname), src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Files = append(pkg.Files, f)
+		pkg.Test = append(pkg.Test, strings.HasSuffix(fname, "_test.go"))
+	}
+	if pkg.Name == "" && len(pkg.Files) > 0 {
+		pkg.Name = pkg.Files[0].Name.Name
+	}
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var errs []error
+	conf := types.Config{
+		Importer: ld,
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	tpkg, _ := conf.Check(path, ld.fset, pkg.Files, pkg.Info)
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("load: type errors in %s: %v", path, errs[0])
+	}
+	pkg.Types = tpkg
+	if !strings.HasSuffix(path, "_test") {
+		ld.checked[path] = pkg
+	}
+	return pkg, nil
+}
+
+// topo orders module packages dependencies-first over their
+// module-internal import edges (test imports included: in-package test
+// files are checked with their package, and the go command already
+// guarantees those edges are acyclic).
+func topo(pkgs map[string]*listPkg) ([]*listPkg, error) {
+	var order []*listPkg
+	state := make(map[string]int, len(pkgs)) // 0 new, 1 visiting, 2 done
+	var visit func(p *listPkg) error
+	visit = func(p *listPkg) error {
+		switch state[p.ImportPath] {
+		case 1:
+			return fmt.Errorf("load: import cycle through %s", p.ImportPath)
+		case 2:
+			return nil
+		}
+		state[p.ImportPath] = 1
+		for _, imps := range [][]string{p.Imports, p.TestImports} {
+			for _, imp := range imps {
+				if dep := pkgs[imp]; dep != nil {
+					if err := visit(dep); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		state[p.ImportPath] = 2
+		order = append(order, p)
+		return nil
+	}
+	paths := make([]string, 0, len(pkgs))
+	for path := range pkgs {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		if err := visit(pkgs[path]); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// exportSet maps import paths to compiler export-data files, filled by
+// `go list -export` (batched up front, lazily on miss). One process-
+// wide cache keeps repeated analysistest runs from re-listing the same
+// standard library packages.
+type exportSet struct {
+	dir string
+}
+
+var (
+	exportMu    sync.Mutex
+	exportFiles = map[string]string{}
+)
+
+func newExportSet(dir string) *exportSet { return &exportSet{dir: dir} }
+
+func (e *exportSet) add(paths ...string) error {
+	exportMu.Lock()
+	var missing []string
+	for _, p := range paths {
+		if exportFiles[p] == "" {
+			missing = append(missing, p)
+		}
+	}
+	exportMu.Unlock()
+	if len(missing) == 0 {
+		return nil
+	}
+	got, err := goList(e.dir, []string{"-export", "-deps"}, missing...)
+	if err != nil {
+		return err
+	}
+	exportMu.Lock()
+	for _, p := range got {
+		if p.Export != "" {
+			exportFiles[p.ImportPath] = p.Export
+		}
+	}
+	exportMu.Unlock()
+	return nil
+}
+
+// lookup is the go/importer Lookup hook: open the export data for an
+// import path, go-listing it first if the batched prefetch missed it.
+func (e *exportSet) lookup(path string) (io.ReadCloser, error) {
+	exportMu.Lock()
+	f := exportFiles[path]
+	exportMu.Unlock()
+	if f == "" {
+		if err := e.add(path); err != nil {
+			return nil, err
+		}
+		exportMu.Lock()
+		f = exportFiles[path]
+		exportMu.Unlock()
+	}
+	if f == "" {
+		return nil, fmt.Errorf("load: no export data for %q", path)
+	}
+	return os.Open(f)
+}
+
+// goList runs `go list -json` with the given extra flags and decodes
+// the package stream.
+func goList(dir string, flags []string, patterns ...string) ([]*listPkg, error) {
+	args := append([]string{"list", "-json"}, flags...)
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("load: go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []*listPkg
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("load: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}

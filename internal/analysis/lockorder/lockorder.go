@@ -1,0 +1,377 @@
+// Package lockorder implements the rmqlint analyzer that enforces the
+// declared mutex acquisition order of a package.
+//
+// The shared plan cache holds two kinds of locks: the store-level
+// table lock and the per-bucket mutexes, and every deadlock-free path
+// acquires them store→bucket (or one at a time). That discipline is
+// declared in the source with //rmq:lock annotations on the mutex
+// fields:
+//
+//	mu sync.RWMutex //rmq:lock store 1
+//	mu sync.Mutex   //rmq:lock bucket 2
+//
+// naming the lock and giving its rank; locks may only be acquired in
+// strictly increasing rank order. The analyzer walks every function of
+// a package that declares such annotations and reports
+//
+//   - acquiring a lock while holding one of equal or higher rank
+//     (the inverted order that deadlocks under contention),
+//   - calling a same-package function that (transitively) acquires a
+//     lock of equal or lower rank than one currently held — the
+//     "publish/pull called under a bucket lock" bug class, and
+//   - copying a value whose type (recursively) contains an annotated
+//     lock, complementing go vet's copylocks with the declared set.
+//
+// The walk is linear over each function body (branches are traversed
+// in source order), which matches the straight-line lock sections the
+// cache uses; intentional exceptions carry //rmq:allow-lock(reason).
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+
+	"rmq/internal/analysis"
+)
+
+// Analyzer is the lockorder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc:  "enforce //rmq:lock mutex rank order and flag copies of lock-bearing structs",
+	Run:  run,
+}
+
+// lockInfo is one annotated mutex declaration.
+type lockInfo struct {
+	name string
+	rank int
+}
+
+func run(pass *analysis.Pass) {
+	locks := collectLocks(pass)
+	if len(locks) == 0 {
+		return
+	}
+	c := &checker{
+		pass:      pass,
+		locks:     locks,
+		fns:       analysis.FuncsOf(pass.Pkg),
+		summaries: make(map[*types.Func]int),
+	}
+	for obj, decl := range c.fns {
+		if pass.IsTestFile(decl.Pos()) {
+			continue
+		}
+		c.checkFunc(obj, decl)
+	}
+}
+
+// collectLocks finds //rmq:lock annotations on struct fields and
+// package-level variables of mutex type.
+func collectLocks(pass *analysis.Pass) map[*types.Var]lockInfo {
+	locks := make(map[*types.Var]lockInfo)
+	add := func(name *ast.Ident, ann *analysis.Annotation) {
+		v, ok := pass.Pkg.Info.Defs[name].(*types.Var)
+		if !ok {
+			return
+		}
+		f := ann.Fields()
+		if len(f) != 2 {
+			pass.Reportf(ann.Pos, "malformed //rmq:lock annotation: want \"//rmq:lock NAME RANK\"")
+			return
+		}
+		rank, err := strconv.Atoi(f[1])
+		if err != nil {
+			pass.Reportf(ann.Pos, "malformed //rmq:lock rank %q: %v", f[1], err)
+			return
+		}
+		locks[v] = lockInfo{name: f[0], rank: rank}
+	}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.StructType:
+				for _, field := range n.Fields.List {
+					if ann := pass.Ann.FieldAnn(field, "lock"); ann != nil {
+						for _, name := range field.Names {
+							add(name, ann)
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for _, name := range n.Names {
+					if ann := pass.Ann.At(n.Pos(), "lock"); ann != nil {
+						add(name, ann)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return locks
+}
+
+type checker struct {
+	pass      *analysis.Pass
+	locks     map[*types.Var]lockInfo
+	fns       map[*types.Func]*ast.FuncDecl
+	summaries map[*types.Func]int // min annotated rank a function may acquire; 0 = none
+	inFlight  map[*types.Func]bool
+}
+
+// held is the lock stack during the linear walk of one function.
+type held struct {
+	v    *types.Var
+	info lockInfo
+}
+
+func (c *checker) checkFunc(obj *types.Func, decl *ast.FuncDecl) {
+	var stack []held
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		if n == nil {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			// Deferred unlocks release at return; for the linear walk
+			// the lock simply stays held for the rest of the body.
+			// Everything else in a defer is outside the lock section.
+			return
+		case *ast.FuncLit:
+			// A nested function runs later, with its own lock state.
+			return
+		case *ast.CallExpr:
+			for _, arg := range n.Args {
+				walk(arg)
+			}
+			walk(n.Fun)
+			stack = c.call(n, stack)
+			return
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				walk(rhs)
+			}
+			c.copyCheck(n)
+			return
+		case *ast.RangeStmt:
+			c.rangeCopyCheck(n)
+		}
+		// Generic traversal in source order.
+		ast.Inspect(n, func(child ast.Node) bool {
+			if child == n {
+				return true
+			}
+			walk(child)
+			return false
+		})
+	}
+	walk(decl.Body)
+}
+
+// call handles one call expression against the current lock stack and
+// returns the updated stack.
+func (c *checker) call(call *ast.CallExpr, stack []held) []held {
+	if v, method := c.lockMethod(call); v != nil {
+		info := c.locks[*v]
+		switch method {
+		case "Lock", "RLock", "TryLock", "TryRLock":
+			for _, h := range stack {
+				if h.info.rank >= info.rank && !c.pass.Ann.Allowed(call.Pos(), "allow-lock") {
+					c.pass.Reportf(call.Pos(), "acquires %s (rank %d) while holding %s (rank %d); declared order is ascending rank",
+						info.name, info.rank, h.info.name, h.info.rank)
+					break
+				}
+			}
+			return append(stack, held{*v, info})
+		case "Unlock", "RUnlock":
+			for i := len(stack) - 1; i >= 0; i-- {
+				if stack[i].v == *v {
+					return append(stack[:i], stack[i+1:]...)
+				}
+			}
+		}
+		return stack
+	}
+
+	// Argument copies of lock-bearing values.
+	for _, arg := range call.Args {
+		if t := c.pass.Pkg.Info.Types[arg].Type; t != nil && c.containsLock(t) {
+			if !c.pass.Ann.Allowed(arg.Pos(), "allow-lock") {
+				c.pass.Reportf(arg.Pos(), "passes lock-bearing %s by value", types.TypeString(t, types.RelativeTo(c.pass.Pkg.Types)))
+			}
+		}
+	}
+
+	// Same-package callee that acquires an annotated lock while we hold
+	// one of equal or higher rank.
+	if len(stack) == 0 {
+		return stack
+	}
+	callee := analysis.CalleeOf(c.pass.Pkg.Info, call)
+	if callee == nil || callee.Pkg() != c.pass.Pkg.Types {
+		return stack
+	}
+	if min := c.summary(callee); min != 0 {
+		for _, h := range stack {
+			if h.info.rank >= min && !c.pass.Ann.Allowed(call.Pos(), "allow-lock") {
+				c.pass.Reportf(call.Pos(), "calls %s, which acquires a lock of rank %d, while holding %s (rank %d)",
+					callee.Name(), min, h.info.name, h.info.rank)
+				break
+			}
+		}
+	}
+	return stack
+}
+
+// lockMethod reports whether call is mutex-method call on an annotated
+// lock, returning the lock variable and method name.
+func (c *checker) lockMethod(call *ast.CallExpr) (**types.Var, string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	method := sel.Sel.Name
+	switch method {
+	case "Lock", "RLock", "TryLock", "TryRLock", "Unlock", "RUnlock":
+	default:
+		return nil, ""
+	}
+	// The receiver must resolve to an annotated field or variable:
+	// x.mu.Lock() or mu.Lock().
+	var obj types.Object
+	switch recv := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		obj = c.pass.Pkg.Info.Uses[recv.Sel]
+	case *ast.Ident:
+		obj = c.pass.Pkg.Info.Uses[recv]
+	default:
+		return nil, ""
+	}
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return nil, ""
+	}
+	if _, ok := c.locks[v]; !ok {
+		return nil, ""
+	}
+	return &v, method
+}
+
+// summary returns the minimum annotated lock rank the function may
+// acquire, directly or through same-package calls (0 when none).
+func (c *checker) summary(obj *types.Func) int {
+	if min, ok := c.summaries[obj]; ok {
+		return min
+	}
+	if c.inFlight == nil {
+		c.inFlight = make(map[*types.Func]bool)
+	}
+	if c.inFlight[obj] {
+		return 0
+	}
+	c.inFlight[obj] = true
+	defer delete(c.inFlight, obj)
+
+	min := 0
+	decl := c.fns[obj]
+	if decl != nil {
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if v, method := c.lockMethod(call); v != nil {
+				switch method {
+				case "Lock", "RLock", "TryLock", "TryRLock":
+					if r := c.locks[*v].rank; min == 0 || r < min {
+						min = r
+					}
+				}
+				return true
+			}
+			if callee := analysis.CalleeOf(c.pass.Pkg.Info, call); callee != nil && callee.Pkg() == c.pass.Pkg.Types {
+				if r := c.summary(callee); r != 0 && (min == 0 || r < min) {
+					min = r
+				}
+			}
+			return true
+		})
+	}
+	c.summaries[obj] = min
+	return min
+}
+
+// copyCheck flags assignments that copy a lock-bearing value.
+func (c *checker) copyCheck(n *ast.AssignStmt) {
+	if n.Tok != token.ASSIGN && n.Tok != token.DEFINE {
+		return
+	}
+	for _, rhs := range n.Rhs {
+		t := c.pass.Pkg.Info.Types[rhs].Type
+		if t == nil || !c.containsLock(t) {
+			continue
+		}
+		// Composite literals construct, they do not copy an existing
+		// lock; everything else (deref, field read, variable) does.
+		if _, ok := ast.Unparen(rhs).(*ast.CompositeLit); ok {
+			continue
+		}
+		if !c.pass.Ann.Allowed(rhs.Pos(), "allow-lock") {
+			c.pass.Reportf(rhs.Pos(), "assignment copies lock-bearing %s", types.TypeString(t, types.RelativeTo(c.pass.Pkg.Types)))
+		}
+	}
+}
+
+// rangeCopyCheck flags range clauses whose value variable copies a
+// lock-bearing element.
+func (c *checker) rangeCopyCheck(n *ast.RangeStmt) {
+	if n.Value == nil {
+		return
+	}
+	// The value variable is a definition, so its type lives in Defs,
+	// not Types.
+	var t types.Type
+	if id, ok := n.Value.(*ast.Ident); ok {
+		if obj := c.pass.Pkg.Info.Defs[id]; obj != nil {
+			t = obj.Type()
+		}
+	}
+	if t == nil {
+		t = c.pass.Pkg.Info.Types[n.Value].Type
+	}
+	if t != nil && c.containsLock(t) && !c.pass.Ann.Allowed(n.Pos(), "allow-lock") {
+		c.pass.Reportf(n.Value.Pos(), "range copies lock-bearing %s", types.TypeString(t, types.RelativeTo(c.pass.Pkg.Types)))
+	}
+}
+
+// containsLock reports whether the type holds an annotated lock by
+// value (directly or through embedded structs/arrays).
+func (c *checker) containsLock(t types.Type) bool {
+	seen := make(map[types.Type]bool)
+	var rec func(t types.Type) bool
+	rec = func(t types.Type) bool {
+		if t == nil || seen[t] {
+			return false
+		}
+		seen[t] = true
+		switch u := t.Underlying().(type) {
+		case *types.Struct:
+			for i := 0; i < u.NumFields(); i++ {
+				f := u.Field(i)
+				if _, ok := c.locks[f]; ok {
+					return true
+				}
+				if rec(f.Type()) {
+					return true
+				}
+			}
+		case *types.Array:
+			return rec(u.Elem())
+		}
+		return false
+	}
+	return rec(t)
+}

@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"rmq/internal/analysis/analysistest"
+	"rmq/internal/analysis/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), lockorder.Analyzer, "locks")
+}

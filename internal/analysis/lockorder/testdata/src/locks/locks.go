@@ -1,0 +1,105 @@
+// Package locks exercises the lockorder analyzer: the declared
+// store→bucket rank order, lock-holding calls, and copies of
+// lock-bearing structs.
+package locks
+
+import "sync"
+
+type Store struct {
+	mu sync.RWMutex //rmq:lock store 1
+}
+
+type Bucket struct {
+	mu sync.Mutex //rmq:lock bucket 2
+	n  int
+}
+
+func ordered(s *Store, b *Bucket) {
+	s.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	s.mu.Unlock()
+}
+
+func oneAtATime(s *Store, b *Bucket) {
+	b.mu.Lock()
+	b.mu.Unlock()
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+func inverted(s *Store, b *Bucket) {
+	b.mu.Lock()
+	s.mu.RLock() // want `acquires store \(rank 1\) while holding bucket \(rank 2\)`
+	s.mu.RUnlock()
+	b.mu.Unlock()
+}
+
+func sameRank(b1, b2 *Bucket) {
+	b1.mu.Lock()
+	b2.mu.Lock() // want `acquires bucket \(rank 2\) while holding bucket \(rank 2\)`
+	b2.mu.Unlock()
+	b1.mu.Unlock()
+}
+
+func deferred(s *Store, b *Bucket) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+
+// pull stands in for the store's pull path: it takes the store lock.
+func pull(s *Store) {
+	s.mu.RLock()
+	s.mu.RUnlock()
+}
+
+func underBucket(s *Store, b *Bucket) {
+	b.mu.Lock()
+	pull(s) // want `calls pull, which acquires a lock of rank 1, while holding bucket \(rank 2\)`
+	b.mu.Unlock()
+}
+
+// indirect pins the transitive summary: underStore→viaHelper→pull.
+func viaHelper(s *Store) { pull(s) }
+
+func underBucketIndirect(s *Store, b *Bucket) {
+	b.mu.Lock()
+	viaHelper(s) // want `calls viaHelper, which acquires a lock of rank 1, while holding bucket \(rank 2\)`
+	b.mu.Unlock()
+}
+
+func allowedInversion(s *Store, b *Bucket) {
+	b.mu.Lock()
+	s.mu.RLock() //rmq:allow-lock(init-time only, single goroutine)
+	s.mu.RUnlock()
+	b.mu.Unlock()
+}
+
+func copies(b *Bucket) int {
+	c := *b // want `assignment copies lock-bearing Bucket`
+	return c.n
+}
+
+func byValue(b Bucket) int { return b.n }
+
+func passes(b *Bucket) int {
+	return byValue(*b) // want `passes lock-bearing Bucket by value`
+}
+
+func ranges(bs []Bucket) int {
+	n := 0
+	for _, b := range bs { // want `range copies lock-bearing Bucket`
+		n += b.n
+	}
+	return n
+}
+
+func pointersAreFine(bs []*Bucket) int {
+	n := 0
+	for _, b := range bs {
+		n += b.n
+	}
+	return n
+}

@@ -63,6 +63,8 @@
 // epoch mirrors and a store-wide version counter so steady-state syncs
 // are a single atomic load. See shared.go for the full model and the
 // retention bound.
+//
+//rmq:deterministic
 package cache
 
 import (
@@ -177,7 +179,7 @@ type outIdx struct {
 // frontier.
 func (ix *outIdx) rebuildCorners() {
 	if cap(ix.corners) < len(ix.sorted) {
-		ix.corners = make([]cost.Vector, len(ix.sorted), 2*len(ix.sorted))
+		ix.corners = make([]cost.Vector, len(ix.sorted), 2*len(ix.sorted)) //rmq:allow-alloc(amortized index rebuild; rebuilt only after admissions outgrow the cutoff)
 	}
 	ix.corners = ix.corners[:len(ix.sorted)]
 	for i, p := range ix.sorted {
@@ -290,6 +292,8 @@ func (b *Bucket) Epoch() uint64 { return b.epoch }
 // again do not appear; dominance-based consumers lose nothing, since
 // every evicted plan is weakly dominated by a surviving same-output
 // plan. Callers must not modify the returned slice.
+//
+//rmq:hotpath
 func (b *Bucket) Since(mark uint64) []*plan.Plan {
 	return b.plans[EpochSuffix(b.epochs, mark):]
 }
@@ -299,6 +303,8 @@ func (b *Bucket) Since(mark uint64) []*plan.Plan {
 // since mark" suffix. Shared by every admission-mark consumer
 // (Bucket.Since, opt.Archive.Since) so the boundary convention lives in
 // one place.
+//
+//rmq:hotpath
 func EpochSuffix(epochs []uint64, mark uint64) int {
 	lo, hi := 0, len(epochs)
 	for lo < hi {
@@ -354,6 +360,8 @@ func (b *Bucket) Prepare(alpha float64) {
 // index bounds the scan to the prefix that can still dominate, and the
 // prefix-min corner accepts clear newcomers without touching a single
 // plan.
+//
+//rmq:hotpath
 func (b *Bucket) Admits(vec cost.Vector, out plan.OutputProp, alpha float64) bool {
 	if b.naive {
 		return WouldAdmit(b.plans, vec, out, alpha)
@@ -453,10 +461,10 @@ func (b *Bucket) ensureIdx(out plan.OutputProp) *outIdx {
 	ix.sorted = ix.sorted[:0]
 	for _, p := range b.plans {
 		if p.Output == out {
-			ix.sorted = append(ix.sorted, p)
+			ix.sorted = append(ix.sorted, p) //rmq:allow-alloc(amortized index rebuild)
 		}
 	}
-	slices.SortStableFunc(ix.sorted, func(a, c *plan.Plan) int {
+	slices.SortStableFunc(ix.sorted, func(a, c *plan.Plan) int { //rmq:allow-alloc(amortized index rebuild; the comparator does not escape)
 		return cmp.Compare(a.Cost.V[0], c.Cost.V[0])
 	})
 	ix.rebuildCorners()
@@ -474,6 +482,8 @@ func (b *Bucket) ensureIdx(out plan.OutputProp) *outIdx {
 // callers still run the exact per-candidate test. Naive buckets always
 // return true, keeping the reference arm of the ablation a literal
 // transcription of Algorithm 3.
+//
+//rmq:hotpath
 func (b *Bucket) AdmitsFloor(floor cost.Vector, out plan.OutputProp, alpha float64) bool {
 	if b.naive {
 		return true
@@ -485,6 +495,8 @@ func (b *Bucket) AdmitsFloor(floor cost.Vector, out plan.OutputProp, alpha float
 // step of Algorithm 3, against the index — and reports whether it was
 // admitted. The surviving frontier is bit-identical to the naive
 // reference (same admission decision, same plans, same order).
+//
+//rmq:hotpath
 func (b *Bucket) Insert(newPlan *plan.Plan, alpha float64) bool {
 	if !b.Admits(newPlan.Cost, newPlan.Output, alpha) {
 		return false
@@ -492,8 +504,8 @@ func (b *Bucket) Insert(newPlan *plan.Plan, alpha float64) bool {
 	if b.plans == nil {
 		// Batch the first allocations: most buckets stay this small, so
 		// one sized allocation replaces a doubling ladder.
-		b.plans = make([]*plan.Plan, 0, 8)
-		b.epochs = make([]uint64, 0, 8)
+		b.plans = make([]*plan.Plan, 0, 8) //rmq:allow-alloc(one sized allocation on a bucket's first admission)
+		b.epochs = make([]uint64, 0, 8)    //rmq:allow-alloc(one sized allocation on a bucket's first admission)
 	}
 	// Evict plans the new one weakly dominates, preserving admission
 	// order; SigBetter requires SameOutput, so only one output class
@@ -505,18 +517,18 @@ func (b *Bucket) Insert(newPlan *plan.Plan, alpha float64) bool {
 		if SigBetter(newPlan, p, 1) {
 			evicted++
 		} else {
-			keep = append(keep, p)
+			keep = append(keep, p) //rmq:allow-alloc(appends into b.plans[:0]; capacity already exists)
 			keepEp = append(keepEp, b.epochs[i])
 		}
 	}
-	b.plans = append(keep, newPlan)
+	b.plans = append(keep, newPlan) //rmq:allow-alloc(admission retains the plan; growth is amortized and the hot rejecting case returns before this)
 	b.epoch++
-	b.epochs = append(keepEp, b.epoch)
+	b.epochs = append(keepEp, b.epoch) //rmq:allow-alloc(admission retains the mark; growth is amortized)
 	if c := b.cache; c != nil {
 		c.plans += 1 - evicted
 		if c.track && !b.dirty {
 			b.dirty = true
-			c.dirty = append(c.dirty, b)
+			c.dirty = append(c.dirty, b) //rmq:allow-alloc(grows once per bucket per sync interval)
 		}
 	}
 	if !b.naive {
@@ -534,7 +546,7 @@ func (b *Bucket) Insert(newPlan *plan.Plan, alpha float64) bool {
 		if b.grid != nil && alpha == b.gridAlpha {
 			// Stale cells of evicted plans stay: their dominator chain ends
 			// in a surviving plan, so rejections through them remain sound.
-			b.grid[gridKey{out, newPlan.Cost.Cells(b.gridInv)}] = newPlan
+			b.grid[gridKey{out, newPlan.Cost.Cells(b.gridInv)}] = newPlan //rmq:allow-alloc(grid upkeep on admission; the hot rejecting case never writes)
 		}
 	}
 	return true
@@ -548,11 +560,13 @@ func (b *Bucket) Insert(newPlan *plan.Plan, alpha float64) bool {
 // bit-identical to recombining the full cross product on every visit,
 // provided pairs are offered in admission order with the old×new pairs
 // first (the order of the full product restricted to fresh pairs).
+//
+//rmq:hotpath
 func (b *Bucket) BeginRecomb(outer, inner *Bucket, alpha float64) Visit {
 	v := Visit{Outers: outer.plans, Inners: inner.plans}
 	key := bucketPair{outer, inner}
 	if b.recombIdx == nil {
-		b.recombIdx = make(map[bucketPair]int, 4)
+		b.recombIdx = make(map[bucketPair]int, 4) //rmq:allow-alloc(per-partition memo, created once per bucket)
 	}
 	i, ok := b.recombIdx[key]
 	if !ok {
@@ -560,8 +574,8 @@ func (b *Bucket) BeginRecomb(outer, inner *Bucket, alpha float64) Visit {
 		if len(b.recombs) >= maxRecombStates {
 			return v
 		}
-		b.recombIdx[key] = len(b.recombs)
-		b.recombs = append(b.recombs, recombState{outer.epoch, inner.epoch, alpha})
+		b.recombIdx[key] = len(b.recombs)                                           //rmq:allow-alloc(per-partition memo, filled once per partition)
+		b.recombs = append(b.recombs, recombState{outer.epoch, inner.epoch, alpha}) //rmq:allow-alloc(per-partition memo, filled once per partition)
 		return v
 	}
 	st := &b.recombs[i]
@@ -648,7 +662,7 @@ func New(in *tableset.Interner, opts ...Option) *Cache {
 
 // newBucket returns an empty bucket wired to the cache's configuration.
 func (c *Cache) newBucket() *Bucket {
-	return &Bucket{cache: c, naive: c.naive}
+	return &Bucket{cache: c, naive: c.naive} //rmq:allow-alloc(one bucket per table set, created on first contact)
 }
 
 // bucketAt returns the bucket with the given id, creating it if absent.
@@ -664,7 +678,7 @@ func (c *Cache) bucketAt(id tableset.ID) *Bucket {
 		if size < int(id)+1 {
 			size = int(id) + 1
 		}
-		grown := make([]*Bucket, size)
+		grown := make([]*Bucket, size) //rmq:allow-alloc(geometric table growth, amortized)
 		copy(grown, c.buckets)
 		c.buckets = grown
 	}

@@ -67,7 +67,7 @@ type Shared struct {
 
 	// mu guards the bucket table (growth and slot initialization), not
 	// the buckets themselves; each sharedBucket has its own lock.
-	mu      sync.RWMutex
+	mu      sync.RWMutex    //rmq:lock store 1
 	buckets []*sharedBucket // indexed by tableset.ID; slot 0 unused
 }
 
@@ -76,7 +76,7 @@ type Shared struct {
 // mirror of its admission epoch so pullers can skip unchanged buckets
 // without taking the lock.
 type sharedBucket struct {
-	mu    sync.Mutex
+	mu    sync.Mutex //rmq:lock bucket 2
 	epoch atomic.Uint64
 	b     Bucket
 }
@@ -140,13 +140,13 @@ func (s *Shared) bucketAt(id tableset.ID) *sharedBucket {
 		if size < int(id)+1 {
 			size = int(id) + 1
 		}
-		grown := make([]*sharedBucket, size)
+		grown := make([]*sharedBucket, size) //rmq:allow-alloc(geometric table growth, amortized)
 		copy(grown, s.buckets)
 		s.buckets = grown
 	}
 	sb = s.buckets[id]
 	if sb == nil {
-		sb = &sharedBucket{}
+		sb = &sharedBucket{} //rmq:allow-alloc(one shared bucket per table set, created on first contact)
 		sb.b.id = id
 		s.buckets[id] = sb
 		s.sets.Add(1)
@@ -181,6 +181,8 @@ func (s *Shared) NewSync() *SyncState { return &SyncState{shared: s} }
 // Plans this worker publishes are excluded from its own future Pulls
 // when no other worker's plans interleaved in the same bucket, so a
 // solitary worker's sync loop is a pair of no-ops in the steady state.
+//
+//rmq:hotpath
 func (st *SyncState) Publish(c *Cache) (published int) {
 	if len(c.dirty) == 0 {
 		return 0
@@ -241,6 +243,8 @@ func (st *SyncState) Publish(c *Cache) (published int) {
 // The steady-state fast path is a single atomic load: when nothing was
 // published since the last Pull, it returns without scanning, locking
 // or allocating.
+//
+//rmq:hotpath
 func (st *SyncState) Pull(c *Cache) (imported int) {
 	sh := st.shared
 	v := sh.version.Load()
@@ -261,14 +265,14 @@ func (st *SyncState) Pull(c *Cache) (imported int) {
 	st.changed = st.changed[:0]
 	for id := 1; id < len(sh.buckets); id++ {
 		if sb := sh.buckets[id]; sb != nil && sb.epoch.Load() != st.pulled[id] {
-			st.changed = append(st.changed, sb)
+			st.changed = append(st.changed, sb) //rmq:allow-alloc(reused scratch; grows to the changed-bucket high-water mark)
 		}
 	}
 	sh.mu.RUnlock()
 	for _, sb := range st.changed {
 		id := sb.b.id // written once at creation, before the slot was published
 		sb.mu.Lock()
-		st.buf = append(st.buf[:0], sb.b.Since(st.pulled[id])...)
+		st.buf = append(st.buf[:0], sb.b.Since(st.pulled[id])...) //rmq:allow-alloc(reused scratch; grows to the delta high-water mark)
 		st.pulled[id] = sb.b.epoch
 		sb.mu.Unlock()
 		if len(st.buf) == 0 {
@@ -302,6 +306,6 @@ func (st *SyncState) Sync(c *Cache) (published, imported int) {
 // grow widens the pulled-mark table to at least n entries.
 func (st *SyncState) grow(n int) {
 	if len(st.pulled) < n {
-		st.pulled = append(st.pulled, make([]uint64, n-len(st.pulled))...)
+		st.pulled = append(st.pulled, make([]uint64, n-len(st.pulled))...) //rmq:allow-alloc(mark table growth, once per store growth)
 	}
 }

@@ -24,6 +24,8 @@ type Table struct {
 }
 
 // Pages returns the table size in pages (≥ 1).
+//
+//rmq:hotpath
 func (t Table) Pages() float64 { return math.Max(1, t.Rows/RowsPerPage) }
 
 // Edge is an undirected join-graph edge with a predicate selectivity in
@@ -103,6 +105,8 @@ func MustNew(tables []Table, edges []Edge) *Catalog {
 func (c *Catalog) NumTables() int { return len(c.tables) }
 
 // Table returns the table with the given index.
+//
+//rmq:hotpath
 func (c *Catalog) Table(i int) Table { return c.tables[i] }
 
 // Edges returns the join graph edges.

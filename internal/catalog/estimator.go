@@ -44,6 +44,8 @@ func NewEstimator(cat *Catalog) *Estimator {
 }
 
 // Catalog returns the underlying catalog.
+//
+//rmq:hotpath
 func (e *Estimator) Catalog() *Catalog { return e.cat }
 
 // memoCap bounds the memo size; transient table sets beyond the cap are
@@ -78,7 +80,7 @@ func (e *Estimator) entry(s tableset.Set) cardEntry {
 func (e *Estimator) computeLog(s tableset.Set) float64 {
 	var tabs [tableset.MaxTables]int
 	k := 0
-	s.ForEach(func(t int) {
+	s.ForEach(func(t int) { //rmq:allow-alloc(closure captures only stack slots and does not escape ForEach)
 		tabs[k] = t
 		k++
 	})
@@ -141,6 +143,8 @@ func (e *Estimator) CardID(id tableset.ID, s tableset.Set) float64 {
 // memoized paths, but with no probe, no insert and no growth. Callers
 // that price an unbounded stream of transient table sets — the climbing
 // move search — use it behind their own small bounded cache.
+//
+//rmq:hotpath
 func (e *Estimator) CardDirect(s tableset.Set) float64 {
 	if s.IsEmpty() {
 		return 1

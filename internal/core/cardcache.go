@@ -28,6 +28,8 @@ const cardCacheSize = 1 << 11
 const cardCacheProbes = 4
 
 // get returns the cached cardinality of rel, if present.
+//
+//rmq:hotpath
 func (cc *cardCache) get(rel tableset.Set) (float64, bool) {
 	i := rel.Hash64() & (cardCacheSize - 1)
 	for p := 0; p < cardCacheProbes; p++ {
@@ -41,6 +43,8 @@ func (cc *cardCache) get(rel tableset.Set) (float64, bool) {
 
 // put stores the cardinality of rel, evicting within its probe window if
 // every slot is occupied.
+//
+//rmq:hotpath
 func (cc *cardCache) put(rel tableset.Set, v float64) {
 	i := rel.Hash64() & (cardCacheSize - 1)
 	j := i & (cardCacheSize - 1)
@@ -57,6 +61,8 @@ func (cc *cardCache) put(rel tableset.Set, v float64) {
 
 // candidateCard returns the cardinality of joining rel, serving repeats
 // from the climber-local cache.
+//
+//rmq:hotpath
 func (c *Climber) candidateCard(rel tableset.Set) float64 {
 	if v, ok := c.cards.get(rel); ok {
 		return v

@@ -15,6 +15,9 @@
 //     the node itself, so one climbing step can apply many beneficial
 //     transformations across the tree at once, shortening the path to a
 //     local optimum.
+//
+//rmq:deterministic
+//rmq:cancelable
 package core
 
 import (
@@ -115,6 +118,7 @@ func (c *Climber) Climb(p *plan.Plan) (*plan.Plan, int) {
 	}
 	limit := c.cfg.maxSteps(p.Rel.Count())
 	steps := 0
+	//rmq:allow-loop(bounded by the maxSteps budget; steps increments every iteration)
 	for steps < limit {
 		next := c.Step(p)
 		if next == nil {

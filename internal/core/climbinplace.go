@@ -60,6 +60,7 @@ func (c *Climber) climbInPlace(p *plan.Plan) (*plan.Plan, int) {
 	c.scratch.Reset()
 	root := c.scratch.Import(p)
 	steps := 0
+	//rmq:allow-loop(bounded by the maxSteps budget; steps increments every iteration)
 	for steps < limit {
 		prev := root.Cost
 		c.undoLog = c.undoLog[:0]
@@ -83,6 +84,8 @@ func (c *Climber) climbInPlace(p *plan.Plan) (*plan.Plan, int) {
 // stepInPlace is Step for the fast path: one pass over a fresh scratch
 // copy; nil when p admits no strictly improving move. A failed pass needs
 // no revert — the scratch copy is simply discarded.
+//
+//rmq:hotpath
 func (c *Climber) stepInPlace(p *plan.Plan) *plan.Plan {
 	c.scratch.Reset()
 	root := c.scratch.Import(p)
@@ -98,6 +101,8 @@ func (c *Climber) stepInPlace(p *plan.Plan) *plan.Plan {
 // children are improved first, the node is re-costed if they changed,
 // and the best strictly dominating mutation of the node is applied in
 // place. It reports whether anything under n changed.
+//
+//rmq:hotpath
 func (c *Climber) passInPlace(n *plan.Plan) bool {
 	if n.Aux&auxClean != 0 {
 		return false
@@ -116,7 +121,7 @@ func (c *Climber) passInPlace(n *plan.Plan) bool {
 	if co || ci {
 		// A child mutation may have changed its output representation;
 		// keep the node's operator when still applicable, and re-cost.
-		c.undoLog = append(c.undoLog, mutate.Snapshot(n))
+		c.undoLog = append(c.undoLog, mutate.Snapshot(n)) //rmq:allow-alloc(reused journal; grows to the per-pass high-water mark)
 		op := mutate.PickRootOp(n.Join, n.Inner.Output)
 		n.Join = op
 		n.Output = op.Output()
@@ -129,7 +134,7 @@ func (c *Climber) passInPlace(n *plan.Plan) bool {
 			if mv.Kind >= mutate.AssocLeft {
 				mv.ChildRelID = m.RelID(mv.ChildRel)
 			}
-			c.undoLog = append(c.undoLog, mutate.Apply(n, &mv))
+			c.undoLog = append(c.undoLog, mutate.Apply(n, &mv)) //rmq:allow-alloc(reused journal; grows to the per-pass high-water mark)
 			n.Aux = 0
 			return true
 		}
@@ -143,6 +148,8 @@ func (c *Climber) passInPlace(n *plan.Plan) bool {
 
 // scanStepInPlace applies the best strictly dominating scan operator
 // exchange to scan node n, evaluating candidates by cost only.
+//
+//rmq:hotpath
 func (c *Climber) scanStepInPlace(n *plan.Plan) bool {
 	bestVec := n.Cost
 	best := n.Scan
@@ -158,7 +165,7 @@ func (c *Climber) scanStepInPlace(n *plan.Plan) bool {
 	if !found {
 		return false
 	}
-	c.undoLog = append(c.undoLog, mutate.Apply(n, &mutate.Move{Kind: mutate.ScanSwap, Scan: best, Cost: bestVec}))
+	c.undoLog = append(c.undoLog, mutate.Apply(n, &mutate.Move{Kind: mutate.ScanSwap, Scan: best, Cost: bestVec})) //rmq:allow-alloc(reused journal; the Move does not escape Apply)
 	return true
 }
 
@@ -167,6 +174,8 @@ func (c *Climber) scanStepInPlace(n *plan.Plan) bool {
 // successive strict-dominance selection, pricing candidates without
 // constructing nodes. It reports whether any candidate strictly
 // dominates n.
+//
+//rmq:hotpath
 func (c *Climber) bestMove(n *plan.Plan, mv *mutate.Move) bool {
 	m := c.model
 	outer, inner := n.Outer, n.Inner
@@ -232,6 +241,8 @@ func (c *Climber) bestMove(n *plan.Plan, mv *mutate.Move) bool {
 // root (as the inner child when childIsInner). Work independent of the
 // child operator — page counts, child cardinality, root operator choice
 // per output representation — is hoisted out of the loop.
+//
+//rmq:hotpath
 func (c *Climber) structMoves(n *plan.Plan, kind mutate.MoveKind, childOuter, childInner, fixed *plan.Plan, childIsInner bool, bestVec *cost.Vector, mv *mutate.Move, found *bool) {
 	m := c.model
 	childBase := m.CombineChildren(childOuter.Cost, childInner.Cost)

@@ -47,20 +47,28 @@ func New(components ...float64) Vector {
 }
 
 // Zero returns the zero vector of dimension n.
+//
+//rmq:hotpath
 func Zero(n int) Vector {
 	if n < 0 || n > MaxMetrics {
-		panic(fmt.Sprintf("cost: dimension %d out of range", n))
+		panic(fmt.Sprintf("cost: dimension %d out of range", n)) //rmq:allow-alloc(allocates only while crashing on a dimension bug)
 	}
 	return Vector{N: int8(n)}
 }
 
 // Dim returns the number of metrics in the vector.
+//
+//rmq:hotpath
 func (v Vector) Dim() int { return int(v.N) }
 
 // At returns the i-th component.
+//
+//rmq:hotpath
 func (v Vector) At(i int) float64 { return v.V[i] }
 
 // Add returns the component-wise sum, saturated at Saturation.
+//
+//rmq:hotpath
 func (v Vector) Add(o Vector) Vector {
 	v.checkDim(o)
 	for i := 0; i < int(v.N); i++ {
@@ -70,6 +78,8 @@ func (v Vector) Add(o Vector) Vector {
 }
 
 // Max returns the component-wise maximum.
+//
+//rmq:hotpath
 func (v Vector) Max(o Vector) Vector {
 	v.checkDim(o)
 	for i := 0; i < int(v.N); i++ {
@@ -85,6 +95,8 @@ func (v Vector) Max(o Vector) Vector {
 // dominates every member, so a candidate the corner does not
 // approximately dominate cannot be approximately dominated by any
 // member — the early-accept test of the indexed admission path.
+//
+//rmq:hotpath
 func (v Vector) Min(o Vector) Vector {
 	v.checkDim(o)
 	for i := 0; i < int(v.N); i++ {
@@ -109,6 +121,8 @@ const cellClamp = 32000
 // Lemma 6 and therefore approximately dominate each other — up to the
 // CellFloor and cellClamp edge cases, which is why consumers must
 // verify a cell hit with ApproxDominates before acting on it.
+//
+//rmq:hotpath
 func (v Vector) Cells(invLnAlpha float64) [MaxMetrics]int16 {
 	var c [MaxMetrics]int16
 	for i := 0; i < int(v.N); i++ {
@@ -138,7 +152,7 @@ func (v Vector) Scale(f float64) Vector {
 
 func (v Vector) checkDim(o Vector) {
 	if v.N != o.N {
-		panic(fmt.Sprintf("cost: dimension mismatch %d vs %d", v.N, o.N))
+		panic(fmt.Sprintf("cost: dimension mismatch %d vs %d", v.N, o.N)) //rmq:allow-alloc(allocates only while crashing on a dimension bug)
 	}
 }
 
@@ -152,9 +166,13 @@ func sat(x float64) float64 {
 // Sat clamps a scalar to the saturation bound. Cost models use it when
 // deriving components from (potentially astronomically large) cardinality
 // estimates.
+//
+//rmq:hotpath
 func Sat(x float64) float64 { return sat(x) }
 
 // Dominates reports v ⪯ o: v is no worse than o in every metric.
+//
+//rmq:hotpath
 func (v Vector) Dominates(o Vector) bool {
 	v.checkDim(o)
 	for i := 0; i < int(v.N); i++ {
@@ -166,6 +184,8 @@ func (v Vector) Dominates(o Vector) bool {
 }
 
 // StrictlyDominates reports v ≺ o: v ⪯ o and v ≠ o.
+//
+//rmq:hotpath
 func (v Vector) StrictlyDominates(o Vector) bool {
 	v.checkDim(o)
 	strict := false
@@ -183,6 +203,8 @@ func (v Vector) StrictlyDominates(o Vector) bool {
 // ApproxDominates reports v ⪯α o: v ≤ α·o component-wise. α must be ≥ 1;
 // with α = 1 this is plain (weak) dominance. α = +Inf approximates
 // everything.
+//
+//rmq:hotpath
 func (v Vector) ApproxDominates(o Vector, alpha float64) bool {
 	v.checkDim(o)
 	if math.IsInf(alpha, 1) {
@@ -197,6 +219,8 @@ func (v Vector) ApproxDominates(o Vector, alpha float64) bool {
 }
 
 // Equal reports component-wise equality.
+//
+//rmq:hotpath
 func (v Vector) Equal(o Vector) bool {
 	v.checkDim(o)
 	return v.V == o.V

@@ -151,6 +151,8 @@ func (m *Model) Interner() *tableset.Interner { return m.in }
 
 // RelID interns the table set, returning its dense id (tableset.NoID once
 // the interner is full).
+//
+//rmq:hotpath
 func (m *Model) RelID(rel tableset.Set) tableset.ID { return m.in.Intern(rel) }
 
 // Catalog returns the model's catalog.
@@ -213,7 +215,7 @@ func (m *Model) scanRaw(t int, op plan.ScanOp) raw {
 	case plan.PinScan:
 		return raw{time: 0.6 * p, buffer: p + 2}
 	default:
-		panic(fmt.Sprintf("costmodel: unknown scan op %v", op))
+		panic(fmt.Sprintf("costmodel: unknown scan op %v", op)) //rmq:allow-alloc(unreachable for valid operators; allocates only while crashing)
 	}
 }
 
@@ -237,7 +239,7 @@ func algRaw(alg plan.JoinAlg, po, pi float64) raw {
 			disc:   po + pi,
 		}
 	default:
-		panic(fmt.Sprintf("costmodel: unknown join alg %v", alg))
+		panic(fmt.Sprintf("costmodel: unknown join alg %v", alg)) //rmq:allow-alloc(unreachable for valid operators; allocates only while crashing)
 	}
 }
 
@@ -285,6 +287,8 @@ func (m *Model) InitScan(n *plan.Plan, t int, op plan.ScanOp) {
 // ScanCost returns the cost vector that ScanPlan(t, op) would have,
 // without allocating the plan node. The climbing hot path uses it to
 // evaluate scan alternatives and materializes only improvements.
+//
+//rmq:hotpath
 func (m *Model) ScanCost(t int, op plan.ScanOp) cost.Vector {
 	return m.project(m.scanRaw(t, op))
 }
@@ -303,6 +307,8 @@ func (m *Model) JoinCard(outer, inner *plan.Plan) float64 {
 
 // CardDirect computes the cardinality of joining the table set without
 // touching any memo (same values as Card); see catalog.CardDirect.
+//
+//rmq:hotpath
 func (m *Model) CardDirect(rel tableset.Set) float64 {
 	return m.est.CardDirect(rel)
 }
@@ -319,6 +325,8 @@ func (m *Model) JoinCost(op plan.JoinOp, outer, inner *plan.Plan, card float64) 
 
 // JoinCostParts is JoinCost on decomposed inputs: it evaluates a join
 // whose operands are known only by cost vector and output cardinality.
+//
+//rmq:hotpath
 func (m *Model) JoinCostParts(op plan.JoinOp, outerCost cost.Vector, outerCard float64, innerCost cost.Vector, innerCard float64, outCard float64) cost.Vector {
 	op2 := joinRaw(op, pages(outerCard), pages(innerCard), pages(outCard))
 	return m.combine(outerCost, innerCost, op2)

@@ -41,6 +41,8 @@ type JoinEval struct {
 // with the given cardinalities into an output of outCard rows. e is an
 // out parameter (rather than a by-value result) so the prepared table is
 // written in place into the caller's frame.
+//
+//rmq:hotpath
 func (m *Model) PrepareJoin(e *JoinEval, outerCard, innerCard, outCard float64) {
 	po, pi, pout := pages(outerCard), pages(innerCard), pages(outCard)
 	e.ti, e.bi, e.di = int32(m.ti), int32(m.bi), int32(m.di)
@@ -61,6 +63,8 @@ func (m *Model) PrepareJoin(e *JoinEval, outerCard, innerCard, outCard float64) 
 // which also makes the result a valid lower bound on any operator's
 // complete cost — the climbing move search prunes candidate groups on
 // exactly that property.
+//
+//rmq:hotpath
 func (m *Model) CombineChildren(a, b cost.Vector) cost.Vector {
 	// min(x, Saturation) is cost.Sat for the non-NaN inputs of this
 	// domain; the builtin keeps the function within the inlining budget.
@@ -80,6 +84,8 @@ func (m *Model) CombineChildren(a, b cost.Vector) cost.Vector {
 // input pair, where base is the children combination from
 // CombineChildren. It equals JoinCostParts on the same inputs. It is
 // small enough to inline into the operator loops.
+//
+//rmq:hotpath
 func (e *JoinEval) OpCost(op plan.JoinOp, base cost.Vector) cost.Vector {
 	r := &e.rawsByOp[op&15]
 	if i := e.ti; i >= 0 {
@@ -97,8 +103,10 @@ func (e *JoinEval) OpCost(op plan.JoinOp, base cost.Vector) cost.Vector {
 // PrepareFloors derives, from a prepared evaluator, the per-output
 // component-wise minima over the operators' raw costs. Call it once
 // after PrepareJoin when FloorCost will be used.
+//
+//rmq:hotpath
 func (e *JoinEval) PrepareFloors() {
-	for _, out := range []plan.OutputProp{plan.Pipelined, plan.Materialized} {
+	for _, out := range [...]plan.OutputProp{plan.Pipelined, plan.Materialized} {
 		m := raw{time: inf, buffer: inf, disc: inf}
 		mat := out == plan.Materialized
 		for alg := plan.JoinAlg(0); alg < plan.NumJoinAlgs; alg++ {
@@ -128,6 +136,8 @@ func (e *JoinEval) PrepareFloors() {
 // recombination builds on exactly this. The bound covers all operators
 // of the representation, so it is also valid for the restricted
 // operator subsets of pipelined inner inputs.
+//
+//rmq:hotpath
 func (e *JoinEval) FloorCost(base cost.Vector, out plan.OutputProp) cost.Vector {
 	r := &e.minRaw[out]
 	if i := e.ti; i >= 0 {
@@ -148,6 +158,8 @@ const inf = 1e308
 // per ops index; len(ops) ≤ 16). Batching the loop into one call keeps
 // the per-operator work free of call overhead regardless of inlining
 // decisions at the call site.
+//
+//rmq:hotpath
 func (e *JoinEval) OpCostAll(ops []plan.JoinOp, base cost.Vector, out *[16]cost.Vector) {
 	ti, bi, di := e.ti, e.bi, e.di
 	for k, op := range ops {
@@ -178,6 +190,8 @@ type OpEval struct {
 
 // PrepareOp precomputes the raw cost of applying exactly op to inputs
 // with the given cardinalities.
+//
+//rmq:hotpath
 func (m *Model) PrepareOp(e *OpEval, op plan.JoinOp, outerCard, innerCard, outCard float64) {
 	e.r = joinRaw(op, pages(outerCard), pages(innerCard), pages(outCard))
 	e.ti, e.bi, e.di = int32(m.ti), int32(m.bi), int32(m.di)
@@ -186,6 +200,8 @@ func (m *Model) PrepareOp(e *OpEval, op plan.JoinOp, outerCard, innerCard, outCa
 // Cost completes the prepared operator cost over base (the children
 // combination from CombineChildren); it equals JoinCostParts of the
 // prepared operator and inputs. Small enough to inline.
+//
+//rmq:hotpath
 func (e *OpEval) Cost(base cost.Vector) cost.Vector {
 	if i := e.ti; i >= 0 {
 		base.V[i] = min(base.V[i]+e.r.time, cost.Saturation)

@@ -73,6 +73,8 @@ type Undo struct {
 }
 
 // Revert restores the rewritten nodes to their pre-Apply state.
+//
+//rmq:hotpath
 func (u *Undo) Revert() {
 	if u.child != nil {
 		*u.child = u.childSaved
@@ -86,6 +88,8 @@ func (u *Undo) Revert() {
 // that rewrite nodes outside Apply (e.g. re-costing an ancestor after a
 // child mutation) journal a Snapshot first so a speculative sequence of
 // in-place changes can be reverted as a unit (in reverse order).
+//
+//rmq:hotpath
 func Snapshot(n *plan.Plan) Undo { return Undo{node: n, saved: *n} }
 
 // setChildJoin recycles the detached node r as the structural rule's new
@@ -106,6 +110,8 @@ func setChildJoin(r *plan.Plan, mv *Move, outer, inner *plan.Plan) {
 // n must be a mutable node of a tree the caller owns exclusively. The
 // node's table set and cardinality are preserved by every rule; only the
 // structural rules touch a second node (the recycled child).
+//
+//rmq:hotpath
 func Apply(n *plan.Plan, mv *Move) Undo {
 	u := Undo{node: n, saved: *n}
 	switch mv.Kind {

@@ -19,6 +19,8 @@
 // original inapplicable. This keeps the neighbor count per node bounded
 // by a small constant times the number of operator implementations, as
 // assumed by the complexity analysis (Lemma 2).
+//
+//rmq:deterministic
 package mutate
 
 import (
@@ -102,6 +104,8 @@ func appendStruct(m *costmodel.Model, dst []*plan.Plan, rootOp plan.JoinOp, root
 // representation, else returns the first applicable operator. Callers
 // rebuilding a join above replaced children use it to carry the original
 // operator over whenever the new inner representation still allows it.
+//
+//rmq:hotpath
 func PickRootOp(prefer plan.JoinOp, inner plan.OutputProp) plan.JoinOp {
 	ops := plan.JoinOpsFor(inner)
 	for _, op := range ops {

@@ -3,6 +3,9 @@
 // Optimizer that is stepped until a time budget expires and can report
 // its current result plan set at any moment, plus the non-dominated
 // archive used by the randomized baselines to accumulate results.
+//
+//rmq:deterministic
+//rmq:cancelable
 package opt
 
 import (

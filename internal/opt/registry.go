@@ -72,6 +72,7 @@ func Names() []string {
 	registry.mu.RLock()
 	defer registry.mu.RUnlock()
 	names := make([]string, 0, len(registry.m))
+	//rmq:allow-detrand(sort.Strings below restores a deterministic order)
 	for name := range registry.m {
 		names = append(names, name)
 	}

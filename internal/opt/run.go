@@ -162,7 +162,7 @@ func Run(ctx context.Context, cfg RunConfig) (RunResult, error) {
 	if mergeEvery <= 0 {
 		mergeEvery = 1
 	}
-	start := time.Now()
+	start := time.Now() //rmq:allow-detrand(Elapsed telemetry only; never steers the search)
 	var (
 		mu      sync.Mutex // guards archive and inbox draining
 		archive Archive
@@ -240,7 +240,7 @@ func Run(ctx context.Context, cfg RunConfig) (RunResult, error) {
 			defer cbMu.Unlock()
 			cfg.Observe(Event{
 				Iterations: int(total.Load()),
-				Elapsed:    time.Since(start),
+				Elapsed:    time.Since(start), //rmq:allow-detrand(Elapsed telemetry only; never steers the search)
 				Improved:   improved,
 				snapshot:   snapshot,
 			})
@@ -299,6 +299,6 @@ func Run(ctx context.Context, cfg RunConfig) (RunResult, error) {
 	return RunResult{
 		Plans:      snapshot(),
 		Iterations: int(total.Load()),
-		Elapsed:    time.Since(start),
+		Elapsed:    time.Since(start), //rmq:allow-detrand(Elapsed telemetry only; never steers the search)
 	}, nil
 }

@@ -81,6 +81,8 @@ func (op ScanOp) String() string {
 func (op ScanOp) Output() OutputProp { return Materialized }
 
 // AllScanOps lists every scan operator; ScanOps in the pseudo-code.
+//
+//rmq:hotpath
 func AllScanOps() []ScanOp { return scanOps }
 
 var scanOps = []ScanOp{SeqScan, PinScan}
@@ -131,6 +133,8 @@ func (a JoinAlg) String() string {
 
 // BufferBudget returns the buffer budget in pages for the BNL variants
 // and 0 for the other algorithms (their buffer use is input-dependent).
+//
+//rmq:hotpath
 func (a JoinAlg) BufferBudget() float64 {
 	switch a {
 	case BNL10:
@@ -165,6 +169,8 @@ const NumJoinOps = NumJoinAlgs * 2
 
 // MakeJoinOp builds the operator for an algorithm and a materialization
 // choice.
+//
+//rmq:hotpath
 func MakeJoinOp(alg JoinAlg, materialize bool) JoinOp {
 	op := JoinOp(alg) << 1
 	if materialize {
@@ -174,13 +180,19 @@ func MakeJoinOp(alg JoinAlg, materialize bool) JoinOp {
 }
 
 // Alg returns the algorithm family of the operator.
+//
+//rmq:hotpath
 func (op JoinOp) Alg() JoinAlg { return JoinAlg(op >> 1) }
 
 // Materializes reports whether the operator writes its output to a temp
 // so downstream operators can rescan it.
+//
+//rmq:hotpath
 func (op JoinOp) Materializes() bool { return op&1 == 1 }
 
 // Output returns the representation the operator produces.
+//
+//rmq:hotpath
 func (op JoinOp) Output() OutputProp {
 	if op.Materializes() {
 		return Materialized
@@ -231,6 +243,8 @@ func JoinOps(outer, inner *Plan) []JoinOp {
 // JoinOpsFor returns the operators applicable for an inner input with the
 // given representation. The returned slice is shared and must not be
 // modified.
+//
+//rmq:hotpath
 func JoinOpsFor(inner OutputProp) []JoinOp { return joinOpsByInner[inner] }
 
 // JoinOpsProducing returns the operators applicable for an inner input
@@ -277,11 +291,15 @@ type Plan struct {
 
 // IsJoin reports whether the plan is a join plan (p.isJoin); scan plans
 // join exactly one table.
+//
+//rmq:hotpath
 func (p *Plan) IsJoin() bool { return p.Outer != nil }
 
 // SameOutput reports whether two plans produce the same output data
 // representation (the SameOutput test of Algorithms 2 and 3). Plans for
 // different table sets are never compared; callers group by Rel first.
+//
+//rmq:hotpath
 func SameOutput(p1, p2 *Plan) bool { return p1.Output == p2.Output }
 
 // String renders the plan as a nested expression, e.g.

@@ -34,6 +34,8 @@ func NewScratch() *Scratch { return &Scratch{} }
 // Reset recycles every node handed out since the last Reset. All nodes
 // previously returned by Alloc or Import become invalid for the owner —
 // which is the point: plans that must outlive a Reset are Frozen first.
+//
+//rmq:hotpath
 func (s *Scratch) Reset() {
 	s.chunk = 0
 	s.used = 0
@@ -47,7 +49,7 @@ func (s *Scratch) next() *Plan {
 		s.used = 0
 	}
 	if s.chunk >= len(s.chunks) {
-		s.chunks = append(s.chunks, make([]Plan, scratchChunk))
+		s.chunks = append(s.chunks, make([]Plan, scratchChunk)) //rmq:allow-alloc(amortized arena growth; a warmed-up cycle never reaches this branch)
 	}
 	n := &s.chunks[s.chunk][s.used]
 	s.used++
@@ -55,6 +57,8 @@ func (s *Scratch) next() *Plan {
 }
 
 // Alloc returns a zeroed mutable node from the arena.
+//
+//rmq:hotpath
 func (s *Scratch) Alloc() *Plan {
 	n := s.next()
 	*n = Plan{}
@@ -64,6 +68,8 @@ func (s *Scratch) Alloc() *Plan {
 // Import deep-copies p into arena-owned mutable nodes and returns the
 // copy's root. Shared sub-plans are duplicated, so the result is a strict
 // tree. Aux is cleared on every node.
+//
+//rmq:hotpath
 func (s *Scratch) Import(p *Plan) *Plan {
 	n := s.next()
 	*n = *p
@@ -79,12 +85,14 @@ func (s *Scratch) Import(p *Plan) *Plan {
 // fresh immutable nodes that survive Reset — the copy-on-archive step
 // that keeps archived plans immutable while climbing mutates in place.
 // The whole tree is allocated as one block (its size is known from Rel).
+//
+//rmq:hotpath
 func (s *Scratch) Freeze(p *Plan) *Plan {
 	n := 2*p.Rel.Count() - 1
-	nodes := make([]Plan, n)
+	nodes := make([]Plan, n) //rmq:allow-alloc(copy-on-archive: one sized block per climbed result, not per move)
 	next := 0
 	var clone func(q *Plan) *Plan
-	clone = func(q *Plan) *Plan {
+	clone = func(q *Plan) *Plan { //rmq:allow-alloc(one clone closure per freeze, not per move)
 		out := &nodes[next]
 		next++
 		*out = *q

@@ -8,6 +8,8 @@
 // guarantee and complexity). Leaves receive a uniformly random permutation
 // of the query tables, and every node receives a uniformly random
 // applicable operator implementation.
+//
+//rmq:deterministic
 package randplan
 
 import (

@@ -20,6 +20,8 @@
 // instead of queueing into the deadline. GET /healthz and GET /stats
 // expose liveness and the session-level telemetry (plan-cache sizes,
 // problem-pool high-water marks, in-flight/served/rejected counters).
+//
+//rmq:cancelable
 package server
 
 import (

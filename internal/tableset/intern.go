@@ -61,6 +61,8 @@ func (in *Interner) Concurrent() bool { return in.mu != nil }
 
 // Intern returns the id of s, assigning the next dense id on first sight.
 // It returns NoID once MaxInterned distinct sets have been assigned.
+//
+//rmq:hotpath
 func (in *Interner) Intern(s Set) ID {
 	if in.mu != nil {
 		return in.internShared(s)
@@ -97,8 +99,8 @@ func (in *Interner) assign(s Set) ID {
 		return NoID
 	}
 	id := ID(len(in.sets))
-	in.sets = append(in.sets, s)
-	in.ids[s] = id
+	in.sets = append(in.sets, s) //rmq:allow-alloc(first sight of a set; the steady-state repeat lookup returns above)
+	in.ids[s] = id               //rmq:allow-alloc(first sight of a set)
 	return id
 }
 
@@ -139,6 +141,8 @@ func (in *Interner) Len() int {
 // cardinality memo) size themselves from it so they grow geometrically
 // in lockstep with the interner instead of creeping up one id at a
 // time.
+//
+//rmq:hotpath
 func (in *Interner) CapHint() int {
 	if in.mu != nil {
 		in.mu.RLock()

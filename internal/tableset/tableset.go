@@ -28,6 +28,8 @@ type Set struct {
 func Empty() Set { return Set{} }
 
 // Single returns the set containing exactly table t.
+//
+//rmq:hotpath
 func Single(t int) Set {
 	checkIndex(t)
 	if t < 64 {
@@ -71,11 +73,13 @@ func allOnes(n int) uint64 {
 
 func checkIndex(t int) {
 	if t < 0 || t >= MaxTables {
-		panic(fmt.Sprintf("tableset: table index %d out of bounds [0, %d)", t, MaxTables))
+		panic(fmt.Sprintf("tableset: table index %d out of bounds [0, %d)", t, MaxTables)) //rmq:allow-alloc(allocates only while crashing on an index bug)
 	}
 }
 
 // Add returns the set with table t added.
+//
+//rmq:hotpath
 func (s Set) Add(t int) Set {
 	checkIndex(t)
 	if t < 64 {
@@ -98,6 +102,8 @@ func (s Set) Remove(t int) Set {
 }
 
 // Contains reports whether table t is in the set.
+//
+//rmq:hotpath
 func (s Set) Contains(t int) bool {
 	checkIndex(t)
 	if t < 64 {
@@ -107,6 +113,8 @@ func (s Set) Contains(t int) bool {
 }
 
 // Union returns s ∪ o.
+//
+//rmq:hotpath
 func (s Set) Union(o Set) Set { return Set{lo: s.lo | o.lo, hi: s.hi | o.hi} }
 
 // Intersect returns s ∩ o.
@@ -122,10 +130,14 @@ func (s Set) Disjoint(o Set) bool { return s.lo&o.lo == 0 && s.hi&o.hi == 0 }
 func (s Set) SubsetOf(o Set) bool { return s.lo&^o.lo == 0 && s.hi&^o.hi == 0 }
 
 // IsEmpty reports whether the set has no tables.
+//
+//rmq:hotpath
 func (s Set) IsEmpty() bool { return s.lo == 0 && s.hi == 0 }
 
 // Hash64 returns a well-mixed 64-bit hash of the set, for callers
 // maintaining their own open-addressed tables keyed by sets.
+//
+//rmq:hotpath
 func (s Set) Hash64() uint64 {
 	h := s.lo*0x9e3779b97f4a7c15 ^ (s.hi*0xbf58476d1ce4e5b9 + 0x94d049bb133111eb)
 	h ^= h >> 29
@@ -135,6 +147,8 @@ func (s Set) Hash64() uint64 {
 }
 
 // Count returns the number of tables in the set.
+//
+//rmq:hotpath
 func (s Set) Count() int { return bits.OnesCount64(s.lo) + bits.OnesCount64(s.hi) }
 
 // Min returns the smallest table index in the set. It panics on the empty
@@ -162,6 +176,8 @@ func (s Set) Tables() []int {
 }
 
 // ForEach calls fn for every table index in ascending order.
+//
+//rmq:hotpath
 func (s Set) ForEach(fn func(t int)) {
 	for lo := s.lo; lo != 0; lo &= lo - 1 {
 		fn(bits.TrailingZeros64(lo))

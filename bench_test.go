@@ -255,6 +255,144 @@ func BenchmarkWorkloadThroughput(b *testing.B) {
 		}
 		reportQPS(b)
 	})
+	b.Run("restored", func(b *testing.B) {
+		// The restart path: sessions warm-started from a snapshot instead
+		// of a live cold call. Same streamLen discipline as warm — each
+		// timed op is an early warm repeat, now after a restore — so the
+		// two sub-benchmarks are directly comparable: restored ≈ warm is
+		// the "no cold-start cliff after restart" claim, against cold's
+		// ~an-order-of-magnitude-slower ns/op.
+		const streamLen = 25
+		seed, err := rmq.NewSession(cat, metrics, rmq.WithSharedCache(true))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := seed.Optimize(context.Background(),
+			rmq.WithSeed(1), rmq.WithMaxIterations(coldIters)); err != nil {
+			b.Fatal(err)
+		}
+		snap, err := seed.Snapshot()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sess *rmq.Session
+		calls := streamLen
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if calls == streamLen {
+				b.StopTimer()
+				sess, err = rmq.NewSession(cat, metrics, rmq.WithSharedCache(true))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := sess.Restore(snap); err != nil {
+					b.Fatal(err)
+				}
+				calls = 0
+				b.StartTimer()
+			}
+			f, err := sess.Optimize(context.Background(),
+				rmq.WithSeed(uint64(i)+2), rmq.WithMaxIterations(warmIters))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(f.Plans) == 0 {
+				b.Fatal("empty frontier")
+			}
+			calls++
+		}
+		reportQPS(b)
+	})
+}
+
+// snapshotBenchSession builds a warmed shared-cache session at the
+// given retention α, deep enough into the schedule's fine-α regime
+// that retention has teeth. Retention is the store-size dial: α = 2
+// retains a fraction of exact retention's plans (see the
+// retained-plans metric), which is what exposes the O(retained plans)
+// scaling of encode and restore — the two settings differ in store
+// size, nothing else.
+func snapshotBenchSession(b *testing.B, retain float64) (*rmq.Session, []byte) {
+	b.Helper()
+	cat := rmq.GenerateCatalog(rmq.WorkloadSpec{Tables: 16, Graph: rmq.Chain}, 3)
+	sess, err := rmq.NewSession(cat,
+		rmq.WithMetrics(rmq.MetricTime, rmq.MetricBuffer),
+		rmq.WithSharedCache(true),
+		rmq.WithCacheRetention(retain))
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Enough cumulative work to reach the schedule's fine-α regime,
+	// where exact retention's store balloons past what α = 2 keeps —
+	// otherwise the two settings retain identical stores and the
+	// scaling comparison is vacuous.
+	for run := 0; run < 2; run++ {
+		if _, err := sess.Optimize(context.Background(),
+			rmq.WithSeed(uint64(run)+1), rmq.WithMaxIterations(1500),
+			rmq.WithParallelism(4)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	snap, err := sess.Snapshot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sess, snap
+}
+
+// BenchmarkSnapshotEncode measures serializing a warmed session's plan
+// caches. Cost must track retained plans (compare the two retention
+// settings via the retained-plans metric), not total plans ever seen.
+func BenchmarkSnapshotEncode(b *testing.B) {
+	for _, retain := range []float64{1, 2} {
+		b.Run(fmt.Sprintf("retain=%g", retain), func(b *testing.B) {
+			sess, snap := snapshotBenchSession(b, retain)
+			cs := sess.CacheStats()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				data, err := sess.Snapshot()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(data) != len(snap) {
+					b.Fatalf("snapshot size changed: %d vs %d", len(data), len(snap))
+				}
+			}
+			b.ReportMetric(float64(cs.Plans), "retained-plans")
+			b.ReportMetric(float64(len(snap)), "snapshot-bytes")
+		})
+	}
+}
+
+// BenchmarkSnapshotRestore measures materializing a snapshot into a
+// fresh session — the startup cost a warm restart pays before serving.
+// Like encode it must scale with retained plans: restoring the α = 2
+// snapshot is proportionally cheaper than the exact-retention one.
+func BenchmarkSnapshotRestore(b *testing.B) {
+	for _, retain := range []float64{1, 2} {
+		b.Run(fmt.Sprintf("retain=%g", retain), func(b *testing.B) {
+			sess, snap := snapshotBenchSession(b, retain)
+			cat := rmq.GenerateCatalog(rmq.WorkloadSpec{Tables: 16, Graph: rmq.Chain}, 3)
+			cs := sess.CacheStats()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				fresh, err := rmq.NewSession(cat,
+					rmq.WithMetrics(rmq.MetricTime, rmq.MetricBuffer),
+					rmq.WithSharedCache(true),
+					rmq.WithCacheRetention(retain))
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if err := fresh.Restore(snap); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(cs.Plans), "retained-plans")
+			b.ReportMetric(float64(len(snap)), "snapshot-bytes")
+		})
+	}
 }
 
 // BenchmarkExtensionWeightedSum quantifies the related-work remark that

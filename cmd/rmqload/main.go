@@ -19,6 +19,10 @@
 // deadline budgets: every request carries timeout_ms and latency
 // converges to the deadline while quality varies — the anytime serving
 // mode.
+//
+// The -assert-* flags turn a run into a pass/fail check for CI: after
+// reporting, the process exits 1 if a tail-latency bound, the error
+// rate, or the minimum request count is violated.
 package main
 
 import (
@@ -52,6 +56,11 @@ func main() {
 		warmIters = flag.Int("warm-iters", 40, "iteration budget of warm (repeated) requests")
 		timeoutMS = flag.Float64("timeout-ms", 0, "use a deadline budget (ms) for every request instead of iteration budgets")
 		seed      = flag.Uint64("seed", 1, "base seed for catalogs and requests")
+
+		assertWarmP99  = flag.Duration("assert-warm-p99", 0, "exit 1 if warm-class p99 latency exceeds this (0 = no check)")
+		assertColdP99  = flag.Duration("assert-cold-p99", 0, "exit 1 if cold-class p99 latency exceeds this (0 = no check)")
+		assertErrRate  = flag.Float64("assert-max-error-rate", -1, "exit 1 if errors/requests across both classes exceeds this fraction (negative = no check)")
+		assertMinTotal = flag.Int("assert-min-requests", 0, "exit 1 if fewer total requests completed (0 = no check)")
 	)
 	flag.Parse()
 
@@ -141,6 +150,37 @@ func main() {
 		fmt.Printf("rejected with 429 (admission control): %d\n", n)
 	}
 	printServerStats(client, base)
+
+	// CI assertions: every violated bound is reported before the
+	// process exits 1, so a failing nightly run shows the full picture.
+	failed := false
+	failf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "rmqload: ASSERT FAILED: "+format+"\n", args...)
+		failed = true
+	}
+	if *assertWarmP99 > 0 {
+		if p99 := warm.quantile(0.99); p99 > *assertWarmP99 {
+			failf("warm p99 %v exceeds %v", p99.Round(100*time.Microsecond), *assertWarmP99)
+		}
+	}
+	if *assertColdP99 > 0 {
+		if p99 := cold.quantile(0.99); p99 > *assertColdP99 {
+			failf("cold p99 %v exceeds %v", p99.Round(100*time.Microsecond), *assertColdP99)
+		}
+	}
+	total := len(warm.latencies) + len(cold.latencies)
+	errs := warm.errors + cold.errors
+	if *assertErrRate >= 0 && total+errs > 0 {
+		if rate := float64(errs) / float64(total+errs); rate > *assertErrRate {
+			failf("error rate %.4f (%d/%d) exceeds %.4f", rate, errs, total+errs, *assertErrRate)
+		}
+	}
+	if *assertMinTotal > 0 && total < *assertMinTotal {
+		failf("only %d requests completed, need at least %d", total, *assertMinTotal)
+	}
+	if failed {
+		os.Exit(1)
+	}
 }
 
 // metricSubsets rotates requests through metric subsets, exercising
@@ -182,21 +222,28 @@ func (cs *classStats) merge(other *classStats) {
 	cs.errors += other.errors
 }
 
+// quantile returns the p-quantile latency (nearest rank), or 0 with no
+// samples. It sorts in place; callers only read latencies afterwards.
+func (cs *classStats) quantile(p float64) time.Duration {
+	n := len(cs.latencies)
+	if n == 0 {
+		return 0
+	}
+	slices.Sort(cs.latencies)
+	idx := int(p*float64(n)+0.5) - 1
+	return cs.latencies[max(0, min(idx, n-1))]
+}
+
 func (cs *classStats) report(name string, elapsed time.Duration) {
 	n := len(cs.latencies)
 	if n == 0 {
 		fmt.Printf("%-6s %9d %7d %12s\n", name, 0, cs.errors, "-")
 		return
 	}
-	slices.Sort(cs.latencies)
-	q := func(p float64) time.Duration {
-		idx := int(p*float64(n)+0.5) - 1
-		return cs.latencies[max(0, min(idx, n-1))]
-	}
 	fmt.Printf("%-6s %9d %7d %10.1f/s %9v %9v %9v %9v %7.1f\n",
 		name, n, cs.errors, float64(n)/elapsed.Seconds(),
-		q(0.50).Round(100*time.Microsecond), q(0.90).Round(100*time.Microsecond),
-		q(0.99).Round(100*time.Microsecond), cs.latencies[n-1].Round(100*time.Microsecond),
+		cs.quantile(0.50).Round(100*time.Microsecond), cs.quantile(0.90).Round(100*time.Microsecond),
+		cs.quantile(0.99).Round(100*time.Microsecond), cs.latencies[n-1].Round(100*time.Microsecond),
 		float64(cs.plans)/float64(n))
 }
 

@@ -11,14 +11,23 @@
 //	rmqopt -tables 100 -algo nsga2 -seed 7
 //	rmqopt -tables 100 -parallel 8 -progress -timeout 3s
 //	rmqopt -tables 24 -workload 10 -shared-cache -iters 400 -warm-iters 40
+//	rmqopt -tables 24 -shared-cache -snapshot-out warm.snap
+//	rmqopt -tables 24 -shared-cache -snapshot-in warm.snap -iters 40
 //
-// The last form replays the query -workload times through one session
-// and prints per-run latency: with -shared-cache the session retains
-// the warmed plan cache across runs, so runs after the first return
-// frontiers at least as good as the first run's from a fraction of the
-// budget (-warm-iters) — the warm-start speedup is directly observable
-// run over run. Without -warm-iters every run spends the full budget
-// and warm runs convert it into extra precision instead of latency.
+// The -workload form replays the query -workload times through one
+// session and prints per-run latency: with -shared-cache the session
+// retains the warmed plan cache across runs, so runs after the first
+// return frontiers at least as good as the first run's from a fraction
+// of the budget (-warm-iters) — the warm-start speedup is directly
+// observable run over run. Without -warm-iters every run spends the
+// full budget and warm runs convert it into extra precision instead of
+// latency.
+//
+// -snapshot-out persists the session's shared plan caches to a file
+// after the runs; -snapshot-in restores such a file into the fresh
+// session before the first run, so even run 0 starts warm — the
+// offline twin of rmqd's -snapshot-dir. Snapshots are bound to the
+// catalog they were taken against (same -tables/-graph/-sel/-seed).
 package main
 
 import (
@@ -51,6 +60,8 @@ func main() {
 		shared    = flag.Bool("shared-cache", false, "share the plan cache across workers and session runs (warm starts)")
 		retain    = flag.Float64("retention", 1, "shared-cache retention precision α (≥ 1; coarser retains fewer plans)")
 		warmIters = flag.Int("warm-iters", 0, "iteration cap for workload runs after the first (0 = same as -iters)")
+		snapIn    = flag.String("snapshot-in", "", "restore the shared plan cache from this rmq-snap file before the first run")
+		snapOut   = flag.String("snapshot-out", "", "write the shared plan cache to this rmq-snap file after the runs")
 	)
 	flag.Parse()
 
@@ -101,6 +112,16 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
+	if *snapIn != "" {
+		data, err := os.ReadFile(*snapIn)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := sess.Restore(data); err != nil {
+			fatalf("restoring %s: %v", *snapIn, err)
+		}
+		fmt.Printf("restored plan cache from %s (%d bytes)\n", *snapIn, len(data))
+	}
 	if *workload < 1 {
 		*workload = 1
 	}
@@ -133,6 +154,16 @@ func main() {
 	}
 	if ctx.Err() != nil {
 		fmt.Println("\ninterrupted — reporting the frontier found so far")
+	}
+	if *snapOut != "" {
+		data, err := sess.Snapshot()
+		if err != nil {
+			fatalf("snapshot: %v", err)
+		}
+		if err := os.WriteFile(*snapOut, data, 0o644); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("wrote plan cache to %s (%d bytes)\n", *snapOut, len(data))
 	}
 
 	fmt.Println()

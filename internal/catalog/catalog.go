@@ -7,7 +7,9 @@
 package catalog
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"math/rand/v2"
 
@@ -115,6 +117,33 @@ func (c *Catalog) Edges() []Edge { return c.edges }
 // AllTables returns the set of every table in the catalog, i.e. the query
 // in the paper's model (a query is a table set to be joined).
 func (c *Catalog) AllTables() tableset.Set { return tableset.Range(len(c.tables)) }
+
+// Fingerprint hashes everything about the catalog that the cost model
+// and cardinality estimator read — table count, per-table
+// cardinalities, and the join graph with its selectivities — with
+// FNV-1a. Table and edge order are significant (table indices are how
+// plans address tables); table names are not (costs never depend on
+// them). Plan-cache snapshots stamp it into their header so frontiers
+// are only ever restored against the catalog they were priced for.
+func (c *Catalog) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	w64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	w64(uint64(len(c.tables)))
+	for _, t := range c.tables {
+		w64(math.Float64bits(t.Rows))
+	}
+	w64(uint64(len(c.edges)))
+	for _, e := range c.edges {
+		w64(uint64(e.A))
+		w64(uint64(e.B))
+		w64(math.Float64bits(e.Selectivity))
+	}
+	return h.Sum64()
+}
 
 // logRows returns ln(rows) of table t (precomputed at construction).
 func (c *Catalog) logRows(t int) float64 { return c.lrows[t] }

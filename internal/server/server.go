@@ -66,6 +66,12 @@ type Config struct {
 	// not here: the server must know each catalog's effective retention
 	// to validate request assertions against it.)
 	SessionOptions []rmq.Option
+	// SnapshotDir, when set, enables plan-cache persistence: Checkpoint
+	// writes each catalog's registration manifest and rmq-snap stream
+	// there, LoadCheckpoint re-registers them at startup, and
+	// POST /catalogs/{id}/snapshot checkpoints one catalog on demand.
+	// Registration snapshot_path values resolve inside it.
+	SnapshotDir string
 	// Logf, when non-nil, receives one line per notable event
 	// (registrations, rejections). The hot path never logs.
 	Logf func(format string, args ...any)
@@ -107,6 +113,10 @@ type catalogEntry struct {
 	retention float64
 	sess      *rmq.Session
 	requests  atomic.Uint64
+	// spec is the sanitized registration request (snapshot fields
+	// stripped): everything needed to rebuild the catalog and session
+	// after a restart. Checkpoint persists it as the catalog's manifest.
+	spec CatalogRequest
 }
 
 // New builds a Server from the config, applying defaults for unset
@@ -134,6 +144,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /catalogs", s.handleRegisterCatalog)
 	s.mux.HandleFunc("GET /catalogs", s.handleListCatalogs)
 	s.mux.HandleFunc("DELETE /catalogs/{id}", s.handleDeleteCatalog)
+	s.mux.HandleFunc("GET /catalogs/{id}/snapshot", s.handleGetSnapshot)
+	s.mux.HandleFunc("POST /catalogs/{id}/snapshot", s.handleCheckpointCatalog)
 	s.mux.HandleFunc("POST /optimize", s.handleOptimize)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
@@ -194,6 +206,14 @@ type CatalogRequest struct {
 	// PoolLimit caps the session's warmed problem pool; nil selects the
 	// adaptive default.
 	PoolLimit *int `json:"pool_limit,omitempty"`
+	// SnapshotPath names an rmq-snap stream to warm-start the catalog's
+	// session from, resolved inside the server's snapshot directory
+	// (rejected when no -snapshot-dir is configured). The snapshot must
+	// fingerprint-match the catalog being registered.
+	SnapshotPath string `json:"snapshot_path,omitempty"`
+	// Snapshot is the same warm start with the stream carried inline
+	// (base64 in JSON). At most one of Snapshot and SnapshotPath.
+	Snapshot []byte `json:"snapshot,omitempty"`
 }
 
 // CatalogInfo describes a registered catalog.
@@ -355,30 +375,63 @@ func (s *Server) handleRegisterCatalog(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad catalog request: %v", err)
 		return
 	}
-	var cat *rmq.Catalog
+	snap, err := s.registrationSnapshot(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	entry, err := s.register(&req, "", snap)
+	if err != nil {
+		writeError(w, registerStatus(err), "%v", err)
+		return
+	}
+	s.logf("registered catalog %s (%q, %d tables, shared cache %v, warm %v)",
+		entry.id, entry.name, entry.tables, entry.sharedCache, snap != nil)
+	writeJSON(w, http.StatusCreated, entry.info())
+}
+
+// registrationSnapshot resolves a register request's warm-start
+// snapshot: the inline bytes, or the contents of snapshot_path resolved
+// inside the server's snapshot directory. nil means a cold start.
+func (s *Server) registrationSnapshot(req *CatalogRequest) ([]byte, error) {
+	if req.SnapshotPath != "" && len(req.Snapshot) > 0 {
+		return nil, fmt.Errorf("give snapshot_path or snapshot, not both")
+	}
+	if req.SnapshotPath == "" {
+		return req.Snapshot, nil
+	}
+	if s.cfg.SnapshotDir == "" {
+		return nil, fmt.Errorf("snapshot_path requires the server to run with a snapshot directory")
+	}
+	data, err := readSnapshotFile(s.cfg.SnapshotDir, req.SnapshotPath)
+	if err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// buildCatalog materializes the catalog a registration request
+// describes (explicit tables or the workload generator). All errors are
+// client errors.
+func buildCatalog(req *CatalogRequest) (*rmq.Catalog, error) {
 	switch {
 	case req.Generate != nil && len(req.Tables) > 0:
-		writeError(w, http.StatusBadRequest, "give either tables or generate, not both")
-		return
+		return nil, fmt.Errorf("give either tables or generate, not both")
 	case req.Generate != nil:
 		spec := rmq.WorkloadSpec{Tables: req.Generate.Tables}
 		var err error
 		if spec.Graph, err = rmq.ParseGraph(req.Generate.Graph); err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
-			return
+			return nil, err
 		}
 		if spec.Selectivity, err = rmq.ParseSelectivity(req.Generate.Selectivity); err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
-			return
+			return nil, err
 		}
 		if spec.Tables < 1 || spec.Tables > maxCatalogTables {
-			writeError(w, http.StatusBadRequest, "generate.tables must be in [1, %d]", maxCatalogTables)
-			return
+			return nil, fmt.Errorf("generate.tables must be in [1, %d]", maxCatalogTables)
 		}
-		cat = rmq.GenerateCatalog(spec, req.Generate.Seed)
+		return rmq.GenerateCatalog(spec, req.Generate.Seed), nil
 	case len(req.Tables) > maxCatalogTables:
-		writeError(w, http.StatusBadRequest, "%d tables exceeds the limit %d", len(req.Tables), maxCatalogTables)
-		return
+		return nil, fmt.Errorf("%d tables exceeds the limit %d", len(req.Tables), maxCatalogTables)
 	case len(req.Tables) > 0:
 		tables := make([]rmq.Table, len(req.Tables))
 		for i, t := range req.Tables {
@@ -388,17 +441,22 @@ func (s *Server) handleRegisterCatalog(w http.ResponseWriter, r *http.Request) {
 		for i, e := range req.Edges {
 			edges[i] = rmq.Edge{A: e.A, B: e.B, Selectivity: e.Selectivity}
 		}
-		var err error
-		cat, err = rmq.NewCatalog(tables, edges)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
-			return
-		}
+		return rmq.NewCatalog(tables, edges)
 	default:
-		writeError(w, http.StatusBadRequest, "catalog request needs tables or generate")
-		return
+		return nil, fmt.Errorf("catalog request needs tables or generate")
 	}
+}
 
+// register builds the catalog and session for a registration request,
+// optionally warm-starts the session from snap, and installs the entry.
+// id pins the catalog id (checkpoint reloads reuse the persisted ids);
+// empty allocates the next one. It is the single registration path for
+// live requests and LoadCheckpoint.
+func (s *Server) register(req *CatalogRequest, id string, snap []byte) (*catalogEntry, error) {
+	cat, err := buildCatalog(req)
+	if err != nil {
+		return nil, err
+	}
 	sharedCache := req.SharedCache == nil || *req.SharedCache
 	// The catalog's effective retention: registration value, server
 	// default, or exact. Fixed here for the catalog's lifetime —
@@ -417,25 +475,55 @@ func (s *Server) handleRegisterCatalog(w http.ResponseWriter, r *http.Request) {
 	}
 	sess, err := rmq.NewSession(cat, opts...)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
+		return nil, err
+	}
+	if len(snap) > 0 {
+		if err := sess.Restore(snap); err != nil {
+			return nil, fmt.Errorf("restoring snapshot: %w", err)
+		}
 	}
 
-	s.mu.Lock()
-	s.nextID++
 	entry := &catalogEntry{
-		id:          "c" + strconv.FormatUint(s.nextID, 10),
 		name:        req.Name,
 		tables:      cat.NumTables(),
 		sharedCache: sharedCache,
 		retention:   retention,
 		sess:        sess,
+		spec:        sanitizeSpec(req),
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id == "" {
+		s.nextID++
+		id = "c" + strconv.FormatUint(s.nextID, 10)
+	} else if s.catalogs[id] != nil {
+		return nil, fmt.Errorf("catalog %q already registered", id)
+	}
+	entry.id = id
 	s.catalogs[entry.id] = entry
-	s.mu.Unlock()
-	s.logf("registered catalog %s (%q, %d tables, shared cache %v)",
-		entry.id, entry.name, entry.tables, sharedCache)
-	writeJSON(w, http.StatusCreated, entry.info())
+	return entry, nil
+}
+
+// sanitizeSpec strips the one-shot warm-start fields from a
+// registration request, leaving the part worth persisting in a
+// checkpoint manifest: re-registering the manifest must rebuild the
+// same catalog and session settings, with the warm start supplied by
+// the checkpoint's own snapshot file, not a stale inline copy.
+func sanitizeSpec(req *CatalogRequest) CatalogRequest {
+	spec := *req
+	spec.Snapshot = nil
+	spec.SnapshotPath = ""
+	return spec
+}
+
+// registerStatus maps a registration failure to an HTTP status:
+// fingerprint mismatches are 409 (the request contradicts the snapshot
+// it carries), everything else is a request problem.
+func registerStatus(err error) int {
+	if errors.Is(err, rmq.ErrSnapshotMismatch) {
+		return http.StatusConflict
+	}
+	return http.StatusBadRequest
 }
 
 func (e *catalogEntry) info() CatalogInfo {

@@ -1,0 +1,291 @@
+package server
+
+// Plan-cache persistence for the serving daemon. The design keeps every
+// byte of file IO off the request path (compare juju's apiserver/state
+// split): optimize handlers only ever touch the in-memory sessions,
+// while Checkpoint — driven by rmqd's background ticker, the on-demand
+// POST /catalogs/{id}/snapshot, and the final flush during graceful
+// shutdown — exports each session's shared stores under their own locks
+// and persists them with write-to-temp + fsync + atomic rename, so a
+// crash mid-checkpoint leaves the previous checkpoint intact.
+//
+// A checkpointed catalog is two files in the snapshot directory:
+//
+//	<id>.json  the registration manifest (sanitized CatalogRequest)
+//	<id>.snap  the rmq-snap/v1 stream of the session's plan caches
+//
+// LoadCheckpoint replays the manifests at startup, re-registering every
+// catalog under its persisted id and warm-starting its session from the
+// .snap file. A damaged or fingerprint-skewed snapshot demotes that
+// catalog to a cold start (logged, never fatal): serving cold beats not
+// serving, and the next checkpoint overwrites the bad file.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// maxSnapshotBytes bounds snapshot files read back by the server; a
+// snapshot larger than this did not come from a plausibly configured
+// store (retention bounds frontier growth polynomially) and is refused
+// rather than slurped into memory.
+const maxSnapshotBytes = 1 << 30
+
+// CheckpointInfo reports one persisted catalog checkpoint: the POST
+// /catalogs/{id}/snapshot response body.
+type CheckpointInfo struct {
+	Catalog string `json:"catalog"`
+	Path    string `json:"path"`
+	Bytes   int    `json:"bytes"`
+}
+
+// checkpointManifest is the persisted registration of one catalog.
+type checkpointManifest struct {
+	ID      string         `json:"id"`
+	Request CatalogRequest `json:"request"`
+}
+
+// handleGetSnapshot serves the catalog's current plan caches as one
+// rmq-snap/v1 stream — the export side of warm replica bootstrap: a
+// second rmqd registers the same catalog with this body inline and
+// starts warm without ever sharing a filesystem.
+func (s *Server) handleGetSnapshot(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	e := s.catalog(id)
+	if e == nil {
+		writeError(w, http.StatusNotFound, "unknown catalog %q", id)
+		return
+	}
+	data, err := e.sess.Snapshot()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "snapshot: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	_, _ = w.Write(data)
+}
+
+// handleCheckpointCatalog persists one catalog's checkpoint to the
+// snapshot directory on demand (the same files the background
+// checkpointer writes), so operators can force a durable cut before a
+// planned restart.
+func (s *Server) handleCheckpointCatalog(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	e := s.catalog(id)
+	if e == nil {
+		writeError(w, http.StatusNotFound, "unknown catalog %q", id)
+		return
+	}
+	if s.cfg.SnapshotDir == "" {
+		writeError(w, http.StatusConflict, "server runs without a snapshot directory")
+		return
+	}
+	n, err := s.checkpointEntry(e)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "checkpoint: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, CheckpointInfo{
+		Catalog: e.id,
+		Path:    filepath.Join(s.cfg.SnapshotDir, e.id+".snap"),
+		Bytes:   n,
+	})
+}
+
+// Checkpoint persists every registered catalog to the snapshot
+// directory and prunes files of catalogs that no longer exist. Catalogs
+// checkpoint independently: one failure does not stop the others, and
+// the joined error reports them all. It is a no-op without a snapshot
+// directory.
+func (s *Server) Checkpoint() error {
+	if s.cfg.SnapshotDir == "" {
+		return nil
+	}
+	s.mu.RLock()
+	entries := make([]*catalogEntry, 0, len(s.catalogs))
+	for _, e := range s.catalogs {
+		entries = append(entries, e)
+	}
+	s.mu.RUnlock()
+	var errs []error
+	for _, e := range entries {
+		if _, err := s.checkpointEntry(e); err != nil {
+			errs = append(errs, fmt.Errorf("catalog %s: %w", e.id, err))
+		}
+	}
+	if err := s.pruneCheckpoints(entries); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
+}
+
+// checkpointEntry writes one catalog's snapshot and manifest, returning
+// the snapshot size in bytes. The manifest is written after the
+// snapshot: LoadCheckpoint drives discovery off manifests, so a crash
+// between the two writes leaves either the old pair or a fresh snapshot
+// the old manifest still matches — never a manifest pointing at
+// nothing.
+func (s *Server) checkpointEntry(e *catalogEntry) (int, error) {
+	data, err := e.sess.Snapshot()
+	if err != nil {
+		return 0, err
+	}
+	manifest, err := json.Marshal(checkpointManifest{ID: e.id, Request: e.spec})
+	if err != nil {
+		return 0, err
+	}
+	if err := os.MkdirAll(s.cfg.SnapshotDir, 0o755); err != nil {
+		return 0, err
+	}
+	if err := writeFileAtomic(s.cfg.SnapshotDir, e.id+".snap", data); err != nil {
+		return 0, err
+	}
+	if err := writeFileAtomic(s.cfg.SnapshotDir, e.id+".json", manifest); err != nil {
+		return 0, err
+	}
+	return len(data), nil
+}
+
+// pruneCheckpoints removes checkpoint files of catalogs not in the live
+// set (deleted since the last checkpoint), so a restart cannot
+// resurrect a catalog the operator removed.
+func (s *Server) pruneCheckpoints(live []*catalogEntry) error {
+	names, err := os.ReadDir(s.cfg.SnapshotDir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil
+		}
+		return err
+	}
+	alive := make(map[string]bool, len(live))
+	for _, e := range live {
+		alive[e.id] = true
+	}
+	var errs []error
+	for _, ent := range names {
+		name := ent.Name()
+		ext := filepath.Ext(name)
+		if ext != ".snap" && ext != ".json" {
+			continue
+		}
+		if alive[strings.TrimSuffix(name, ext)] {
+			continue
+		}
+		if err := os.Remove(filepath.Join(s.cfg.SnapshotDir, name)); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// LoadCheckpoint re-registers every catalog checkpointed in the
+// snapshot directory, warm-starting each session from its .snap file.
+// Catalogs keep their persisted ids (clients resume against the ids
+// they know) and the id counter advances past them. A catalog whose
+// snapshot fails to restore — corrupt file, codec version skew, a
+// manifest edited to a different catalog — is re-registered cold with
+// the failure logged; a manifest that cannot even be re-registered is
+// skipped. It is a no-op without a snapshot directory.
+func (s *Server) LoadCheckpoint() error {
+	if s.cfg.SnapshotDir == "" {
+		return nil
+	}
+	manifests, err := filepath.Glob(filepath.Join(s.cfg.SnapshotDir, "*.json"))
+	if err != nil {
+		return err
+	}
+	maxID := uint64(0)
+	var errs []error
+	for _, path := range manifests {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		var m checkpointManifest
+		if err := json.Unmarshal(raw, &m); err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", path, err))
+			continue
+		}
+		if m.ID == "" || m.ID != strings.TrimSuffix(filepath.Base(path), ".json") {
+			errs = append(errs, fmt.Errorf("%s: manifest id %q does not match file name", path, m.ID))
+			continue
+		}
+		snap, err := readSnapshotFile(s.cfg.SnapshotDir, m.ID+".snap")
+		if err != nil && !errors.Is(err, os.ErrNotExist) {
+			s.logf("checkpoint %s: reading snapshot: %v (starting cold)", m.ID, err)
+		}
+		entry, err := s.register(&m.Request, m.ID, snap)
+		if err != nil && len(snap) > 0 {
+			// The registration itself may be fine and only the snapshot
+			// bad; a cold catalog beats a missing one.
+			s.logf("checkpoint %s: warm restore failed: %v (starting cold)", m.ID, err)
+			entry, err = s.register(&m.Request, m.ID, nil)
+		}
+		if err != nil {
+			errs = append(errs, fmt.Errorf("checkpoint %s: %w", m.ID, err))
+			continue
+		}
+		if n, err := strconv.ParseUint(strings.TrimPrefix(entry.id, "c"), 10, 64); err == nil {
+			maxID = max(maxID, n)
+		}
+		s.logf("restored catalog %s (%q, %d tables, %d snapshot bytes)",
+			entry.id, entry.name, entry.tables, len(snap))
+	}
+	s.mu.Lock()
+	s.nextID = max(s.nextID, maxID)
+	s.mu.Unlock()
+	return errors.Join(errs...)
+}
+
+// readSnapshotFile reads a bounded snapshot file from inside dir. name
+// must be a local path (no escape via .. or absolute paths) — it comes
+// from the wire in register requests.
+func readSnapshotFile(dir, name string) ([]byte, error) {
+	if !filepath.IsLocal(name) {
+		return nil, fmt.Errorf("snapshot path %q escapes the snapshot directory", name)
+	}
+	path := filepath.Join(dir, name)
+	st, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if st.Size() > maxSnapshotBytes {
+		return nil, fmt.Errorf("snapshot %s: %d bytes exceeds the %d byte limit", path, st.Size(), maxSnapshotBytes)
+	}
+	return os.ReadFile(path)
+}
+
+// writeFileAtomic writes data as dir/name via a temp file, fsync and
+// rename, so readers and crash recovery only ever observe complete
+// files.
+func writeFileAtomic(dir, name string, data []byte) error {
+	f, err := os.CreateTemp(dir, name+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	_, werr := f.Write(data)
+	if serr := f.Sync(); werr == nil {
+		werr = serr
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		_ = os.Remove(tmp)
+		return werr
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,374 @@
+package snapshot_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math/rand/v2"
+	"testing"
+
+	"rmq/internal/cache"
+	"rmq/internal/cost"
+	"rmq/internal/plan"
+	"rmq/internal/snapshot"
+	"rmq/internal/tableset"
+)
+
+// scan builds a valid scan plan over one table.
+func scan(in *tableset.Interner, table int, op plan.ScanOp, costs ...float64) *plan.Plan {
+	rel := tableset.Single(table)
+	return &plan.Plan{
+		Rel:    rel,
+		RelID:  in.Intern(rel),
+		Cost:   cost.New(costs...),
+		Card:   100,
+		Output: op.Output(),
+		Table:  table,
+		Scan:   op,
+	}
+}
+
+// join builds a valid join plan from two children.
+func join(in *tableset.Interner, op plan.JoinOp, outer, inner *plan.Plan, costs ...float64) *plan.Plan {
+	rel := outer.Rel.Union(inner.Rel)
+	return &plan.Plan{
+		Rel:    rel,
+		RelID:  in.Intern(rel),
+		Cost:   cost.New(costs...),
+		Card:   outer.Card * inner.Card / 10,
+		Output: op.Output(),
+		Join:   op,
+		Outer:  outer,
+		Inner:  inner,
+	}
+}
+
+// buildStore fills a store with structurally valid plan trees — shared
+// scan subtrees, pipelined and materializing joins, several publish
+// rounds so admission epochs spread — through the same Cache/SyncState
+// wiring live runs use.
+func buildStore(tb testing.TB, retain float64, seed uint64) *cache.Shared {
+	tb.Helper()
+	sh := cache.NewShared(tableset.NewSharedInterner(), retain)
+	in := sh.Interner()
+	c := cache.New(in)
+	c.TrackDirty()
+	st := sh.NewSync()
+	rng := rand.New(rand.NewPCG(seed, 17))
+	cv := func() (float64, float64) { return 1 + rng.Float64()*50, 1 + rng.Float64()*50 }
+
+	scans := make([]*plan.Plan, 6)
+	for t := range scans {
+		a, b := cv()
+		scans[t] = scan(in, t, plan.ScanOp(t%plan.NumScanOps), a, b)
+		c.Insert(scans[t], 1)
+	}
+	st.Publish(c)
+
+	// Joins sharing scan subtrees across frontier entries, including
+	// BNL variants (materialized inner — scans qualify) and
+	// materializing variants feeding a second join level.
+	var last *plan.Plan
+	for round := 0; round < 3; round++ {
+		for t := 0; t+1 < len(scans); t++ {
+			alg := plan.JoinAlg(rng.IntN(plan.NumJoinAlgs))
+			a, b := cv()
+			j := join(in, plan.MakeJoinOp(alg, rng.IntN(2) == 0), scans[t], scans[t+1], a, b)
+			c.Insert(j, 1)
+			last = j
+		}
+		st.Publish(c)
+		sh.NextIteration()
+	}
+	a, b := cv()
+	top := join(in, plan.MakeJoinOp(plan.Hash, false), last, scans[0], a, b)
+	c.Insert(top, 1)
+	st.Publish(c)
+	return sh
+}
+
+// openFresh is the Decode callback sessions use: a new store over a new
+// shared interner at the snapshot's retention.
+func openFresh(stores map[string]*cache.Shared) snapshot.OpenStore {
+	return func(tag string, st cache.StoreState) (*cache.Shared, error) {
+		sh := cache.NewShared(tableset.NewSharedInterner(), st.Retention)
+		stores[tag] = sh
+		return sh, nil
+	}
+}
+
+// frontierDump renders every bucket of a store in a canonical text form
+// (export order, plan structure, costs, epochs) for comparison.
+func frontierDump(tb testing.TB, sh *cache.Shared) string {
+	tb.Helper()
+	var buf bytes.Buffer
+	state, err := sh.Export(func(bs cache.BucketSnapshot) error {
+		fmt.Fprintf(&buf, "bucket %v epoch %d\n", bs.Set, bs.Epoch)
+		for i, p := range bs.Plans {
+			fmt.Fprintf(&buf, "  @%d %v %v card %v %s\n", bs.Epochs[i], p.Cost, p.Output, p.Card, p)
+		}
+		return nil
+	})
+	if err != nil {
+		tb.Fatalf("Export: %v", err)
+	}
+	fmt.Fprintf(&buf, "state %+v\n", state)
+	return buf.String()
+}
+
+// encode is Encode with the test's default fingerprint.
+func encode(tb testing.TB, stores ...snapshot.TaggedStore) []byte {
+	tb.Helper()
+	data, err := snapshot.Encode(0xfeedface, stores)
+	if err != nil {
+		tb.Fatalf("Encode: %v", err)
+	}
+	return data
+}
+
+// TestRoundTripByteIdentical pins the codec's canonical-form property:
+// decoding a snapshot into fresh stores and re-encoding those must
+// reproduce the input byte for byte, across retention settings and
+// multiple tagged stores.
+func TestRoundTripByteIdentical(t *testing.T) {
+	orig := []snapshot.TaggedStore{
+		{Tag: "\x00", Store: buildStore(t, 1, 1)},
+		{Tag: "\x00\x01", Store: buildStore(t, 1.5, 2)},
+		{Tag: "\x00\x01\x02", Store: buildStore(t, 2, 3)},
+	}
+	data := encode(t, orig...)
+
+	restored := make(map[string]*cache.Shared)
+	h, err := snapshot.Decode(data, openFresh(restored))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if h.Version != snapshot.Version || h.Fingerprint != 0xfeedface {
+		t.Fatalf("header = %+v", h)
+	}
+	if len(restored) != len(orig) {
+		t.Fatalf("restored %d stores, want %d", len(restored), len(orig))
+	}
+
+	again := make([]snapshot.TaggedStore, 0, len(restored))
+	for _, ts := range orig {
+		again = append(again, snapshot.TaggedStore{Tag: ts.Tag, Store: restored[ts.Tag]})
+	}
+	data2 := encode(t, again...)
+	if !bytes.Equal(data, data2) {
+		t.Fatalf("re-encoding a restored snapshot changed the bytes (%d vs %d)", len(data), len(data2))
+	}
+
+	// And the restored stores hold identical contents and counters.
+	for _, ts := range orig {
+		if got, want := frontierDump(t, restored[ts.Tag]), frontierDump(t, ts.Store); got != want {
+			t.Errorf("store %q contents diverged:\n--- restored\n%s--- original\n%s", ts.Tag, got, want)
+		}
+	}
+}
+
+// TestRestoredStoreAnswersPullIdentically is the warm-start guarantee:
+// a fresh worker cache pulling from the restored store must receive the
+// same frontiers as one pulling from the original, and the restored
+// store's publish version must be visible to the Pull fast path (a
+// restored non-empty store must never look like an empty one).
+func TestRestoredStoreAnswersPullIdentically(t *testing.T) {
+	orig := buildStore(t, 1, 7)
+	data := encode(t, snapshot.TaggedStore{Tag: "\x00", Store: orig})
+	restored := make(map[string]*cache.Shared)
+	if _, err := snapshot.Decode(data, openFresh(restored)); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	res := restored["\x00"]
+
+	pull := func(sh *cache.Shared) (*cache.Cache, int) {
+		c := cache.New(sh.Interner())
+		c.TrackDirty()
+		return c, sh.NewSync().Pull(c)
+	}
+	oc, on := pull(orig)
+	rc, rn := pull(res)
+	if rn == 0 || rn != on {
+		t.Fatalf("restored pull moved %d plans, original %d", rn, on)
+	}
+	if s1, p1 := orig.Stats(); true {
+		if s2, p2 := res.Stats(); s1 != s2 || p1 != p2 {
+			t.Fatalf("Stats diverged: restored (%d, %d), original (%d, %d)", s2, p2, s1, p1)
+		}
+	}
+	if oi, ri := orig.Iterations(), res.Iterations(); oi != ri {
+		t.Fatalf("Iterations diverged: restored %d, original %d", ri, oi)
+	}
+	// Frontier-by-frontier equality, keyed by table set.
+	_, err := orig.Export(func(bs cache.BucketSnapshot) error {
+		got, want := rc.Get(bs.Set), oc.Get(bs.Set)
+		if len(got) != len(want) {
+			return fmt.Errorf("set %v: %d plans restored, %d original", bs.Set, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Cost != want[i].Cost || got[i].Output != want[i].Output || got[i].String() != want[i].String() {
+				return fmt.Errorf("set %v plan %d: %v %s vs %v %s",
+					bs.Set, i, got[i].Cost, got[i], want[i].Cost, want[i])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEmptyAndNoStores pins the degenerate cases: no stores at all, and
+// a store that was created but never published into.
+func TestEmptyAndNoStores(t *testing.T) {
+	data := encode(t)
+	restored := make(map[string]*cache.Shared)
+	if _, err := snapshot.Decode(data, openFresh(restored)); err != nil {
+		t.Fatalf("Decode of empty snapshot: %v", err)
+	}
+	if len(restored) != 0 {
+		t.Fatalf("empty snapshot opened %d stores", len(restored))
+	}
+
+	empty := cache.NewShared(tableset.NewSharedInterner(), 1)
+	data = encode(t, snapshot.TaggedStore{Tag: "\x00", Store: empty})
+	if _, err := snapshot.Decode(data, openFresh(restored)); err != nil {
+		t.Fatalf("Decode of empty store: %v", err)
+	}
+	if _, plans := restored["\x00"].Stats(); plans != 0 {
+		t.Fatalf("empty store restored %d plans", plans)
+	}
+}
+
+// TestEncodeRejectsDuplicateTags pins the duplicate-tag guard.
+func TestEncodeRejectsDuplicateTags(t *testing.T) {
+	sh := cache.NewShared(tableset.NewSharedInterner(), 1)
+	_, err := snapshot.Encode(1, []snapshot.TaggedStore{
+		{Tag: "\x00", Store: sh},
+		{Tag: "\x00", Store: sh},
+	})
+	if err == nil {
+		t.Fatal("Encode accepted duplicate tags")
+	}
+}
+
+// reseal recomputes the CRC trailer after a deliberate mutation, so the
+// test reaches the structural validation behind the checksum.
+func reseal(data []byte) []byte {
+	body := data[:len(data)-4]
+	return binary.LittleEndian.AppendUint32(bytes.Clone(body), crc32.ChecksumIEEE(body))
+}
+
+func TestDecodeRejectsMalformedInput(t *testing.T) {
+	valid := encode(t, snapshot.TaggedStore{Tag: "\x00", Store: buildStore(t, 1, 9)})
+	discard := func(tag string, st cache.StoreState) (*cache.Shared, error) {
+		return cache.NewShared(tableset.NewSharedInterner(), st.Retention), nil
+	}
+
+	t.Run("wrong magic", func(t *testing.T) {
+		bad := bytes.Clone(valid)
+		bad[0] ^= 0xff
+		if _, err := snapshot.Decode(bad, discard); !errors.Is(err, snapshot.ErrBadMagic) {
+			t.Fatalf("err = %v, want ErrBadMagic", err)
+		}
+	})
+	t.Run("every truncation errors", func(t *testing.T) {
+		for i := 0; i < len(valid); i++ {
+			if _, err := snapshot.Decode(valid[:i], discard); err == nil {
+				t.Fatalf("truncation to %d bytes decoded successfully", i)
+			}
+		}
+	})
+	t.Run("every bit flip errors", func(t *testing.T) {
+		// The CRC covers the whole body, so any single-bit corruption
+		// must surface as an error (ErrChecksum, or a frame error for
+		// flips inside magic/trailer) — never a silent success.
+		for i := 0; i < len(valid); i++ {
+			bad := bytes.Clone(valid)
+			bad[i] ^= 1 << (i % 8)
+			if _, err := snapshot.Decode(bad, discard); err == nil {
+				t.Fatalf("bit flip at byte %d decoded successfully", i)
+			}
+		}
+	})
+	t.Run("future version", func(t *testing.T) {
+		// Rebuild the preamble with version+1 and a fixed-up CRC.
+		future := []byte("rmq-snap")
+		future = binary.AppendUvarint(future, snapshot.Version+1)
+		future = binary.LittleEndian.AppendUint64(future, 0xfeedface)
+		future = binary.AppendUvarint(future, 0)
+		future = binary.LittleEndian.AppendUint32(future, crc32.ChecksumIEEE(future))
+		if _, err := snapshot.Decode(future, discard); !errors.Is(err, snapshot.ErrVersion) {
+			t.Fatalf("err = %v, want ErrVersion", err)
+		}
+	})
+	t.Run("trailing bytes", func(t *testing.T) {
+		bad := append(bytes.Clone(valid[:len(valid)-4]), 0xaa, 0xbb)
+		if _, err := snapshot.Decode(reseal(append(bad, 0, 0, 0, 0)), discard); err == nil {
+			t.Fatal("trailing bytes decoded successfully")
+		}
+	})
+	t.Run("open error propagates", func(t *testing.T) {
+		boom := errors.New("boom")
+		_, err := snapshot.Decode(valid, func(string, cache.StoreState) (*cache.Shared, error) {
+			return nil, boom
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("err = %v, want wrapped open error", err)
+		}
+	})
+}
+
+// TestPeekMatchesDecodeHeader pins that Peek sees the same header
+// Decode does, and applies the same frame checks.
+func TestPeekMatchesDecodeHeader(t *testing.T) {
+	data := encode(t, snapshot.TaggedStore{Tag: "\x00", Store: buildStore(t, 1, 4)})
+	h, err := snapshot.Peek(data)
+	if err != nil {
+		t.Fatalf("Peek: %v", err)
+	}
+	if h.Version != snapshot.Version || h.Fingerprint != 0xfeedface {
+		t.Fatalf("Peek header = %+v", h)
+	}
+	if _, err := snapshot.Peek(data[:len(data)-1]); err == nil {
+		t.Fatal("Peek accepted a truncated stream")
+	}
+}
+
+// FuzzSnapshotDecode drives arbitrary bytes through Decode and asserts
+// the no-panic contract: malformed input of any shape returns an error
+// (or, for inputs that happen to be valid, a well-formed result), never
+// a panic or runaway allocation.
+func FuzzSnapshotDecode(f *testing.F) {
+	valid := encode(f, snapshot.TaggedStore{Tag: "\x00", Store: buildStore(f, 1, 11)})
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("rmq-snap"))
+	f.Add(valid[:len(valid)/2])
+	mut := bytes.Clone(valid)
+	mut[len(mut)/2] ^= 0x40
+	f.Add(mut)
+	f.Add(reseal(append(bytes.Clone(valid[:len(valid)-4]), 0xff, 0xff, 0xff, 0xff)))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		restored := make(map[string]*cache.Shared)
+		h, err := snapshot.Decode(data, openFresh(restored))
+		if err != nil {
+			return
+		}
+		if h.Version != snapshot.Version {
+			t.Fatalf("accepted version %d", h.Version)
+		}
+		// Whatever decoded must re-encode cleanly: the codec never
+		// materializes stores it could not itself have written.
+		stores := make([]snapshot.TaggedStore, 0, len(restored))
+		for tag, sh := range restored {
+			stores = append(stores, snapshot.TaggedStore{Tag: tag, Store: sh})
+		}
+		if _, err := snapshot.Encode(h.Fingerprint, stores); err != nil {
+			t.Fatalf("re-encoding a decoded snapshot failed: %v", err)
+		}
+	})
+}

@@ -146,6 +146,13 @@ func (s Set) Hash64() uint64 {
 	return h
 }
 
+// Words returns the set's two 64-bit words (tables 0–63 in lo, 64–127
+// in hi) for serializers. FromWords is the inverse.
+func (s Set) Words() (lo, hi uint64) { return s.lo, s.hi }
+
+// FromWords rebuilds a set from the words returned by Words.
+func FromWords(lo, hi uint64) Set { return Set{lo: lo, hi: hi} }
+
 // Count returns the number of tables in the set.
 //
 //rmq:hotpath

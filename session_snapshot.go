@@ -1,0 +1,133 @@
+package rmq
+
+import (
+	"errors"
+	"fmt"
+
+	"rmq/internal/cache"
+	"rmq/internal/costmodel"
+	"rmq/internal/snapshot"
+	"rmq/internal/tableset"
+)
+
+// ErrSnapshotMismatch reports that a snapshot was recorded against a
+// different catalog than the session it is being restored into.
+// Frontier costs are only meaningful for the catalog they were computed
+// against — restoring another catalog's frontiers would silently serve
+// plans priced for the wrong database — so the restore is refused
+// instead.
+var ErrSnapshotMismatch = errors.New("snapshot belongs to a different catalog")
+
+// ErrSnapshotIntoWarmSession reports a Restore into a session that
+// already holds a shared store for one of the snapshot's metric
+// subsets. Restores target fresh sessions: merging two live frontier
+// histories would need a union of admission epochs that neither side's
+// sync marks could be trusted against.
+var ErrSnapshotIntoWarmSession = errors.New("session already has a shared cache for a snapshotted metric subset")
+
+// Snapshot serializes the session's shared plan caches — the
+// α-approximate sub-plan frontiers accumulated by every run with
+// WithSharedCache, across all metric subsets — into an rmq-snap/v1
+// byte stream stamped with the catalog's fingerprint. A later process
+// passes the bytes to Restore on a fresh session over the same catalog
+// and resumes at warm-start latency instead of re-learning the
+// frontiers from zero.
+//
+// Snapshot is safe to call concurrently with running Optimize calls:
+// each store is exported bucket by bucket under the store's own locks,
+// so the result is a consistent cut that may simply miss admissions
+// racing with the export. A session that never enabled WithSharedCache
+// snapshots to a valid, empty stream.
+func (s *Session) Snapshot() ([]byte, error) {
+	s.mu.Lock()
+	stores := make([]snapshot.TaggedStore, 0, len(s.shared))
+	for tag, sh := range s.shared {
+		stores = append(stores, snapshot.TaggedStore{Tag: tag, Store: sh})
+	}
+	s.mu.Unlock()
+	return snapshot.Encode(s.cat.Fingerprint(), stores)
+}
+
+// Restore loads a Snapshot into the session. The snapshot must have
+// been taken against a catalog with the same fingerprint (see
+// Catalog.Fingerprint; ErrSnapshotMismatch otherwise), and the session
+// must not yet have shared stores for the snapshotted metric subsets
+// (ErrSnapshotIntoWarmSession) — restore before the first Optimize
+// call with WithSharedCache. Malformed, truncated or version-skewed
+// input is rejected with an error and leaves the session untouched.
+//
+// The restored stores keep the retention precision they were created
+// with; a later run passing a conflicting WithCacheRetention gets
+// ErrRetentionMismatch exactly as it would against the live store the
+// snapshot was taken from.
+func (s *Session) Restore(data []byte) error {
+	h, err := snapshot.Peek(data)
+	if err != nil {
+		return fmt.Errorf("rmq: %w", err)
+	}
+	if want := s.cat.Fingerprint(); h.Fingerprint != want {
+		return fmt.Errorf("rmq: %w (snapshot fingerprint %016x, catalog %016x)",
+			ErrSnapshotMismatch, h.Fingerprint, want)
+	}
+	// Decode into session-free stores first: a decode error must leave
+	// the session exactly as it was, so nothing is committed until the
+	// whole stream has parsed and validated.
+	restored := make(map[string]*cache.Shared)
+	var tags []string
+	if _, err := snapshot.Decode(data, func(tag string, st cache.StoreState) (*cache.Shared, error) {
+		if err := validMetricsTag(tag); err != nil {
+			return nil, err
+		}
+		if restored[tag] != nil {
+			return nil, fmt.Errorf("duplicate metric subset %q", tag)
+		}
+		sh := cache.NewShared(tableset.NewSharedInterner(), st.Retention)
+		restored[tag] = sh
+		tags = append(tags, tag)
+		return sh, nil
+	}); err != nil {
+		return fmt.Errorf("rmq: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, tag := range tags {
+		if s.shared[tag] != nil {
+			return fmt.Errorf("rmq: %w (subset %s)", ErrSnapshotIntoWarmSession, metricsTagName(tag))
+		}
+	}
+	if s.shared == nil {
+		s.shared = make(map[string]*cache.Shared, len(restored))
+	}
+	for tag, sh := range restored {
+		s.shared[tag] = sh
+	}
+	return nil
+}
+
+// validMetricsTag checks that a snapshot store tag is a well-formed
+// metricsKey: distinct known metrics, one byte each. Snapshots written
+// by this package always are; the check rejects hand-crafted streams
+// that would otherwise park unreachable stores in the session map.
+func validMetricsTag(tag string) error {
+	if len(tag) == 0 || len(tag) > costmodel.NumMetrics {
+		return fmt.Errorf("metric subset tag of %d metrics", len(tag))
+	}
+	var seen [costmodel.NumMetrics]bool
+	for i := 0; i < len(tag); i++ {
+		m := tag[i]
+		if int(m) >= costmodel.NumMetrics || seen[m] {
+			return fmt.Errorf("metric subset tag %q invalid at %d", tag, i)
+		}
+		seen[m] = true
+	}
+	return nil
+}
+
+// metricsTagName renders a metricsKey for error messages.
+func metricsTagName(tag string) string {
+	metrics := make([]Metric, 0, len(tag))
+	for i := 0; i < len(tag); i++ {
+		metrics = append(metrics, Metric(tag[i]))
+	}
+	return fmt.Sprint(metrics)
+}

@@ -1,0 +1,198 @@
+// Tests for session-level plan-cache persistence: Snapshot/Restore
+// round trips, the fingerprint binding to the catalog, the
+// fresh-session-only restore contract, and warm-start quality through
+// a snapshot (the restart analogue of TestSharedCacheWarmStartQuality).
+package rmq_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"rmq"
+	"rmq/internal/opt"
+	"rmq/internal/quality"
+)
+
+// warmedSession runs a cold optimization through a shared-cache session
+// and returns the session plus its cold frontier.
+func warmedSession(t *testing.T, cat *rmq.Catalog, opts ...rmq.Option) (*rmq.Session, *rmq.Frontier) {
+	t.Helper()
+	sess, err := rmq.NewSession(cat, append([]rmq.Option{rmq.WithSharedCache(true)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := sess.Optimize(context.Background(), rmq.WithSeed(1), rmq.WithMaxIterations(400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cold.Plans) == 0 {
+		t.Fatal("cold run found nothing")
+	}
+	return sess, cold
+}
+
+// TestSessionSnapshotRestoreWarmStart pins the restart contract: a
+// fresh session restored from another session's snapshot answers a
+// low-budget repeat query with a frontier that matches or dominates
+// every cold trade-off — the same ε = 1 guarantee a live warm session
+// gives, now across a (simulated) process boundary.
+func TestSessionSnapshotRestoreWarmStart(t *testing.T) {
+	cat := sharedTestCatalog(20)
+	sess, cold := warmedSession(t, cat, rmq.WithMetrics(rmq.MetricTime, rmq.MetricBuffer))
+	data, err := sess.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty snapshot from a warmed session")
+	}
+	before := sess.CacheStats()
+
+	restored, err := rmq.NewSession(cat,
+		rmq.WithMetrics(rmq.MetricTime, rmq.MetricBuffer),
+		rmq.WithSharedCache(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Restore(data); err != nil {
+		t.Fatal(err)
+	}
+	if after := restored.CacheStats(); after != before {
+		t.Fatalf("restored CacheStats %+v, snapshot had %+v", after, before)
+	}
+	warm, err := restored.Optimize(context.Background(), rmq.WithSeed(9), rmq.WithMaxIterations(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkNonDominated(t, warm)
+	if eps := quality.Epsilon(opt.Costs(warm.Plans), opt.Costs(cold.Plans)); eps > 1 {
+		t.Fatalf("restored warm run at 1/10 budget: ε = %g vs cold result, want 1", eps)
+	}
+}
+
+// TestSessionSnapshotFingerprintMismatch pins that a snapshot refuses
+// to restore into a session over a different catalog.
+func TestSessionSnapshotFingerprintMismatch(t *testing.T) {
+	sess, _ := warmedSession(t, sharedTestCatalog(12))
+	data, err := sess.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := rmq.NewSession(
+		rmq.GenerateCatalog(rmq.WorkloadSpec{Tables: 12, Graph: rmq.Chain}, 99),
+		rmq.WithSharedCache(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.Restore(data); !errors.Is(err, rmq.ErrSnapshotMismatch) {
+		t.Fatalf("Restore into another catalog: %v, want ErrSnapshotMismatch", err)
+	}
+}
+
+// TestSessionRestoreIntoWarmSessionFails pins that restores target
+// fresh sessions only: a session that already holds a shared store for
+// a snapshotted metric subset rejects the restore and keeps its state.
+func TestSessionRestoreIntoWarmSessionFails(t *testing.T) {
+	cat := sharedTestCatalog(12)
+	sess, _ := warmedSession(t, cat)
+	data, err := sess.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := sess.CacheStats()
+	if err := sess.Restore(data); !errors.Is(err, rmq.ErrSnapshotIntoWarmSession) {
+		t.Fatalf("Restore into the warm source session: %v, want ErrSnapshotIntoWarmSession", err)
+	}
+	if after := sess.CacheStats(); after != before {
+		t.Fatalf("failed restore mutated the session: %+v vs %+v", after, before)
+	}
+}
+
+// TestSessionRestoreRejectsGarbage pins the session-level error path
+// for malformed bytes, and that a failed restore leaves the session
+// usable.
+func TestSessionRestoreRejectsGarbage(t *testing.T) {
+	cat := sharedTestCatalog(8)
+	sess, err := rmq.NewSession(cat, rmq.WithSharedCache(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, data := range [][]byte{nil, []byte("not a snapshot"), make([]byte, 64)} {
+		if err := sess.Restore(data); err == nil {
+			t.Fatalf("Restore accepted %q", data)
+		}
+	}
+	if _, err := sess.Optimize(context.Background(), rmq.WithMaxIterations(50)); err != nil {
+		t.Fatalf("session unusable after failed restores: %v", err)
+	}
+}
+
+// TestSessionSnapshotEmptySession pins that a never-optimized session
+// snapshots to a valid stream that restores cleanly (the cold-daemon
+// checkpoint case).
+func TestSessionSnapshotEmptySession(t *testing.T) {
+	cat := sharedTestCatalog(8)
+	sess, err := rmq.NewSession(cat, rmq.WithSharedCache(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := sess.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := rmq.NewSession(cat, rmq.WithSharedCache(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.Restore(data); err != nil {
+		t.Fatalf("restoring an empty snapshot: %v", err)
+	}
+}
+
+// TestSessionSnapshotMultipleSubsets pins that per-metric-subset stores
+// round-trip together: optimizing under different metric subsets fills
+// distinct stores, and the restored session reports the combined
+// contents.
+func TestSessionSnapshotMultipleSubsets(t *testing.T) {
+	cat := sharedTestCatalog(12)
+	sess, err := rmq.NewSession(cat, rmq.WithSharedCache(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	subsets := [][]rmq.Metric{
+		{rmq.MetricTime, rmq.MetricBuffer, rmq.MetricDisc},
+		{rmq.MetricTime, rmq.MetricBuffer},
+		{rmq.MetricTime},
+	}
+	for i, ms := range subsets {
+		if _, err := sess.Optimize(ctx, rmq.WithMetrics(ms...), rmq.WithSeed(uint64(i)), rmq.WithMaxIterations(200)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := sess.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := rmq.NewSession(cat, rmq.WithSharedCache(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Restore(data); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := restored.CacheStats(), sess.CacheStats(); got != want {
+		t.Fatalf("restored CacheStats %+v, want %+v", got, want)
+	}
+	// The restored session serves warm runs under every subset.
+	for i, ms := range subsets {
+		f, err := restored.Optimize(ctx, rmq.WithMetrics(ms...), rmq.WithSeed(50+uint64(i)), rmq.WithMaxIterations(40))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(f.Plans) == 0 {
+			t.Fatalf("restored warm run under subset %v found nothing", ms)
+		}
+	}
+}

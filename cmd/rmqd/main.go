@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"rmq"
+	"rmq/internal/faultinject"
 	"rmq/internal/server"
 )
 
@@ -55,18 +56,34 @@ func main() {
 		grace          = flag.Duration("shutdown-grace", 15*time.Second, "how long SIGTERM waits for in-flight requests before closing")
 		snapshotDir    = flag.String("snapshot-dir", "", "directory for plan-cache checkpoints; restored at startup, written on a timer and at shutdown (empty = no persistence)")
 		snapshotEvery  = flag.Duration("snapshot-interval", time.Minute, "how often the background checkpointer persists plan caches to -snapshot-dir")
+		maxCacheBytes  = flag.Int64("max-cache-bytes", 0, "budget for the estimated memory of all plan caches; when exceeded the server tightens cache retention instead of growing (0 = unbounded)")
+		allowFetch     = flag.Bool("allow-snapshot-fetch", false, "allow registrations carrying snapshot_url to fetch their warm start from another rmqd (outbound requests to caller-supplied URLs)")
+		faults         = flag.String("faults", "", "fault-injection profile for chaos runs, e.g. 'server.optimize=panic@0.01;checkpoint.write=enospc@0.3' (also via RMQ_FAULTS)")
 		quiet          = flag.Bool("quiet", false, "suppress per-event logging")
 	)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "rmqd: ", log.LstdFlags)
+	// Arm fault injection before anything else runs: -faults wins over
+	// the RMQ_FAULTS environment variable when both are given.
+	faultSpec := *faults
+	if faultSpec == "" {
+		faultSpec = os.Getenv("RMQ_FAULTS")
+	}
+	if spec, err := faultinject.FromEnv(faultSpec); err != nil {
+		logger.Fatalf("bad fault profile: %v", err)
+	} else if spec != "" {
+		logger.Printf("FAULT INJECTION ACTIVE: %s", spec)
+	}
 	cfg := server.Config{
-		MaxInFlight:      *maxInFlight,
-		DefaultTimeout:   *defaultTimeout,
-		MaxTimeout:       *maxTimeout,
-		MaxParallelism:   *maxParallel,
-		DefaultRetention: *retention,
-		SnapshotDir:      *snapshotDir,
+		MaxInFlight:        *maxInFlight,
+		DefaultTimeout:     *defaultTimeout,
+		MaxTimeout:         *maxTimeout,
+		MaxParallelism:     *maxParallel,
+		DefaultRetention:   *retention,
+		SnapshotDir:        *snapshotDir,
+		MaxCacheBytes:      *maxCacheBytes,
+		AllowSnapshotFetch: *allowFetch,
 	}
 	if !*quiet {
 		cfg.Logf = logger.Printf

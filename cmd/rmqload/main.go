@@ -9,8 +9,14 @@
 //     at the full cold budget, then dropped.
 //
 // Requests also rotate through metric subsets (all three, time+buffer,
-// time), exercising the per-subset stores of each session. 429
-// rejections (admission control) are counted separately from errors.
+// time), exercising the per-subset stores of each session.
+//
+// All traffic goes through the retrying client package: 429 admission
+// rejections are retried after the server's Retry-After hint, and
+// transient failures of idempotent calls back off and retry. Each class
+// reports its retry traffic (retried, abandoned) alongside latency, so
+// a chaos run shows how much of the injected failure the retry layer
+// absorbed and how much surfaced.
 //
 //	rmqload -addr http://localhost:8080 -clients 8 -duration 10s
 //	rmqload -duration 5s            # no -addr: serves in-process
@@ -26,10 +32,10 @@
 package main
 
 import (
-	"encoding/json"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"math/rand/v2"
 	"net"
 	"net/http"
@@ -40,6 +46,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rmq/client"
+	"rmq/internal/api"
 	"rmq/internal/server"
 )
 
@@ -56,6 +64,7 @@ func main() {
 		warmIters = flag.Int("warm-iters", 40, "iteration budget of warm (repeated) requests")
 		timeoutMS = flag.Float64("timeout-ms", 0, "use a deadline budget (ms) for every request instead of iteration budgets")
 		seed      = flag.Uint64("seed", 1, "base seed for catalogs and requests")
+		retries   = flag.Int("max-retries", 4, "retry attempts per call before a request is abandoned")
 
 		assertWarmP99  = flag.Duration("assert-warm-p99", 0, "exit 1 if warm-class p99 latency exceeds this (0 = no check)")
 		assertColdP99  = flag.Duration("assert-cold-p99", 0, "exit 1 if cold-class p99 latency exceeds this (0 = no check)")
@@ -77,18 +86,29 @@ func main() {
 		fmt.Printf("in-process rmqd on %s\n", base)
 	}
 	base = strings.TrimSuffix(base, "/")
-	client := &http.Client{}
+
+	// One Client per traffic class over a shared transport: the
+	// connection pool is common, the retry accounting is per class.
+	httpc := &http.Client{}
+	warmC := &client.Client{Base: base, HTTP: httpc, MaxRetries: *retries}
+	coldC := &client.Client{Base: base, HTTP: httpc, MaxRetries: *retries}
+	ctx := context.Background()
 
 	// Pre-register the warm catalog pool and prime each with one cold
 	// call so the measured warm class is actually warm.
 	warmIDs := make([]string, *catalogs)
 	for i := range warmIDs {
-		warmIDs[i] = registerCatalog(client, base, *tables, *graph, *seed+uint64(i))
+		id, err := registerCatalog(ctx, coldC, *tables, *graph, *seed+uint64(i))
+		if err != nil {
+			fatalf("register: %v", err)
+		}
+		warmIDs[i] = id
 		if *timeoutMS == 0 {
-			if _, _, err := optimize(client, base, request{
-				Catalog: warmIDs[i], MaxIterations: *coldIters, Seed: *seed, Metrics: metricSubsets[0],
+			s := *seed
+			if _, err := coldC.Optimize(ctx, api.OptimizeRequest{
+				Catalog: id, MaxIterations: *coldIters, Seed: &s,
 			}); err != nil {
-				fatalf("priming %s: %v", warmIDs[i], err)
+				fatalf("priming %s: %v", id, err)
 			}
 		}
 	}
@@ -110,8 +130,9 @@ func main() {
 			rng := rand.New(rand.NewPCG(*seed, uint64(c)))
 			warm, cold := &results[c*2], &results[c*2+1]
 			for time.Now().Before(deadline) {
-				req := request{
-					Seed:    reqSeed.Add(1),
+				s := reqSeed.Add(1)
+				req := api.OptimizeRequest{
+					Seed:    &s,
 					Metrics: metricSubsets[rng.IntN(len(metricSubsets))],
 				}
 				if *timeoutMS > 0 {
@@ -122,15 +143,21 @@ func main() {
 					if *timeoutMS == 0 {
 						req.MaxIterations = *warmIters
 					}
-					warm.record(client, base, req, &rejected)
+					warm.record(ctx, warmC, req, &rejected)
 				} else {
-					id := registerCatalog(client, base, *tables, *graph, req.Seed)
+					// A register failure (e.g. under fault injection) fails
+					// this cold request, not the whole run.
+					id, err := registerCatalog(ctx, coldC, *tables, *graph, s)
+					if err != nil {
+						cold.errors++
+						continue
+					}
 					req.Catalog = id
 					if *timeoutMS == 0 {
 						req.MaxIterations = *coldIters
 					}
-					cold.record(client, base, req, &rejected)
-					deleteCatalog(client, base, id)
+					cold.record(ctx, coldC, req, &rejected)
+					_ = coldC.Delete(ctx, id)
 				}
 			}
 		}(c)
@@ -142,14 +169,14 @@ func main() {
 		warm.merge(&results[c*2])
 		cold.merge(&results[c*2+1])
 	}
-	fmt.Printf("\n%-6s %9s %7s %12s %9s %9s %9s %9s %7s\n",
-		"class", "requests", "errors", "throughput", "p50", "p90", "p99", "max", "plans")
-	warm.report("warm", *duration)
-	cold.report("cold", *duration)
+	fmt.Printf("\n%-6s %9s %7s %8s %10s %12s %9s %9s %9s %9s %7s\n",
+		"class", "requests", "errors", "retried", "abandoned", "throughput", "p50", "p90", "p99", "max", "plans")
+	warm.report("warm", *duration, warmC.Metrics())
+	cold.report("cold", *duration, coldC.Metrics())
 	if n := rejected.Load(); n > 0 {
-		fmt.Printf("rejected with 429 (admission control): %d\n", n)
+		fmt.Printf("abandoned as 429 after retries (admission control): %d\n", n)
 	}
-	printServerStats(client, base)
+	printServerStats(ctx, warmC)
 
 	// CI assertions: every violated bound is reported before the
 	// process exits 1, so a failing nightly run shows the full picture.
@@ -187,33 +214,35 @@ func main() {
 // one shared store per subset in each catalog's session.
 var metricSubsets = [][]string{nil, {"time", "buffer"}, {"time"}}
 
-type request struct {
-	Catalog       string   `json:"catalog"`
-	TimeoutMS     float64  `json:"timeout_ms,omitempty"`
-	MaxIterations int      `json:"max_iterations,omitempty"`
-	Metrics       []string `json:"metrics,omitempty"`
-	Seed          uint64   `json:"seed"`
-}
-
 type classStats struct {
 	latencies []time.Duration
 	plans     int
 	errors    int
 }
 
-func (cs *classStats) record(client *http.Client, base string, req request, rejected *atomic.Uint64) {
+// record issues one optimization through the class's retrying client.
+// Latency covers the whole call including retries — what a caller of
+// the retry layer actually waits. A 429 that survives every retry
+// counts as rejected, not as an error; everything else that the retry
+// layer could not absorb is an error.
+func (cs *classStats) record(ctx context.Context, c *client.Client, req api.OptimizeRequest, rejected *atomic.Uint64) {
 	start := time.Now()
-	plans, status, err := optimize(client, base, req)
-	if status == http.StatusTooManyRequests {
-		rejected.Add(1)
+	resp, err := c.Optimize(ctx, req)
+	if err != nil {
+		var serr *client.StatusError
+		if errors.As(err, &serr) && serr.Status == http.StatusTooManyRequests {
+			rejected.Add(1)
+			return
+		}
+		cs.errors++
 		return
 	}
-	if err != nil {
+	if len(resp.Plans) == 0 {
 		cs.errors++
 		return
 	}
 	cs.latencies = append(cs.latencies, time.Since(start))
-	cs.plans += plans
+	cs.plans += len(resp.Plans)
 }
 
 func (cs *classStats) merge(other *classStats) {
@@ -234,93 +263,53 @@ func (cs *classStats) quantile(p float64) time.Duration {
 	return cs.latencies[max(0, min(idx, n-1))]
 }
 
-func (cs *classStats) report(name string, elapsed time.Duration) {
+func (cs *classStats) report(name string, elapsed time.Duration, m client.Metrics) {
 	n := len(cs.latencies)
 	if n == 0 {
-		fmt.Printf("%-6s %9d %7d %12s\n", name, 0, cs.errors, "-")
+		fmt.Printf("%-6s %9d %7d %8d %10d %12s\n", name, 0, cs.errors, m.Retries, m.Abandoned, "-")
 		return
 	}
-	fmt.Printf("%-6s %9d %7d %10.1f/s %9v %9v %9v %9v %7.1f\n",
-		name, n, cs.errors, float64(n)/elapsed.Seconds(),
+	fmt.Printf("%-6s %9d %7d %8d %10d %10.1f/s %9v %9v %9v %9v %7.1f\n",
+		name, n, cs.errors, m.Retries, m.Abandoned, float64(n)/elapsed.Seconds(),
 		cs.quantile(0.50).Round(100*time.Microsecond), cs.quantile(0.90).Round(100*time.Microsecond),
 		cs.quantile(0.99).Round(100*time.Microsecond), cs.latencies[n-1].Round(100*time.Microsecond),
 		float64(cs.plans)/float64(n))
 }
 
-func registerCatalog(client *http.Client, base string, tables int, graph string, seed uint64) string {
-	body := fmt.Sprintf(`{"generate":{"tables":%d,"graph":%q,"seed":%d}}`, tables, graph, seed)
-	resp, err := client.Post(base+"/catalogs", "application/json", strings.NewReader(body))
+func registerCatalog(ctx context.Context, c *client.Client, tables int, graph string, seed uint64) (string, error) {
+	info, err := c.Register(ctx, api.CatalogRequest{
+		Generate: &api.GenerateSpec{Tables: tables, Graph: graph, Seed: seed},
+	})
 	if err != nil {
-		fatalf("register: %v", err)
+		return "", err
 	}
-	defer resp.Body.Close()
-	var info struct {
-		ID string `json:"id"`
+	if info.ID == "" {
+		return "", fmt.Errorf("register: empty catalog id")
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil || info.ID == "" {
-		fatalf("register: status %d, err %v", resp.StatusCode, err)
-	}
-	return info.ID
+	return info.ID, nil
 }
 
-func deleteCatalog(client *http.Client, base, id string) {
-	req, _ := http.NewRequest(http.MethodDelete, base+"/catalogs/"+id, nil)
-	resp, err := client.Do(req)
-	if err == nil {
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-	}
-}
-
-func optimize(client *http.Client, base string, req request) (plans, status int, err error) {
-	body, _ := json.Marshal(req)
-	resp, err := client.Post(base+"/optimize", "application/json", strings.NewReader(string(body)))
-	if err != nil {
-		return 0, 0, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		data, _ := io.ReadAll(resp.Body)
-		return 0, resp.StatusCode, fmt.Errorf("status %d: %s", resp.StatusCode, data)
-	}
-	var or struct {
-		Plans []json.RawMessage `json:"plans"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&or); err != nil {
-		return 0, resp.StatusCode, err
-	}
-	if len(or.Plans) == 0 {
-		return 0, resp.StatusCode, fmt.Errorf("empty frontier")
-	}
-	return len(or.Plans), resp.StatusCode, nil
-}
-
-func printServerStats(client *http.Client, base string) {
-	resp, err := client.Get(base + "/stats")
+func printServerStats(ctx context.Context, c *client.Client) {
+	stats, err := c.Stats(ctx)
 	if err != nil {
 		return
 	}
-	defer resp.Body.Close()
-	var stats struct {
-		InFlight int    `json:"in_flight"`
-		Served   uint64 `json:"served"`
-		Rejected uint64 `json:"rejected"`
-		Catalogs []struct {
-			ID    string `json:"id"`
-			Cache struct {
-				Sets  int `json:"sets"`
-				Plans int `json:"plans"`
-			} `json:"cache"`
-			Pool struct {
-				Pooled    int `json:"pooled"`
-				HighWater int `json:"high_water"`
-			} `json:"pool"`
-		} `json:"catalogs"`
+	fmt.Printf("server: served %d, rejected %d, in-flight %d, contained panics %d\n",
+		stats.Served, stats.Rejected, stats.InFlight, stats.Panics)
+	if stats.MaxCacheBytes > 0 {
+		fmt.Printf("  cache budget: %d / %d bytes, %d shed events\n",
+			stats.CacheBytes, stats.MaxCacheBytes, stats.ShedEvents)
 	}
-	if json.NewDecoder(resp.Body).Decode(&stats) != nil {
-		return
+	for _, q := range stats.Quarantined {
+		fmt.Printf("  quarantined: %s (%s)\n", q.File, q.Reason)
 	}
-	fmt.Printf("server: served %d, rejected %d, in-flight %d\n", stats.Served, stats.Rejected, stats.InFlight)
+	if len(stats.Faults) > 0 {
+		fmt.Printf("  injected faults fired:")
+		for site, n := range stats.Faults {
+			fmt.Printf(" %s=%d", site, n)
+		}
+		fmt.Println()
+	}
 	for _, c := range stats.Catalogs {
 		fmt.Printf("  catalog %s: cache %d sets / %d plans, pool %d (high-water %d)\n",
 			c.ID, c.Cache.Sets, c.Cache.Plans, c.Pool.Pooled, c.Pool.HighWater)

@@ -1,0 +1,64 @@
+// Tests for failure containment at the session boundary: an injected
+// worker panic fails only the triggering request, and the session —
+// including its shared plan cache — keeps serving undamaged.
+package rmq_test
+
+import (
+	"context"
+	"errors"
+	"slices"
+	"testing"
+
+	"rmq"
+	"rmq/internal/faultinject"
+	"rmq/internal/opt"
+)
+
+func TestSessionSurvivesWorkerPanic(t *testing.T) {
+	cat := rmq.GenerateCatalog(rmq.WorkloadSpec{Tables: 10, Graph: rmq.Chain}, 17)
+	sess, err := rmq.NewSession(cat,
+		rmq.WithMetrics(rmq.MetricTime, rmq.MetricBuffer),
+		rmq.WithSharedCache(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runOpts := []rmq.Option{rmq.WithMaxIterations(20), rmq.WithSeed(5), rmq.WithParallelism(2)}
+
+	before, err := sess.Optimize(context.Background(), runOpts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faultinject.Enable(faultinject.MustParse("opt.worker.step=panic#1"))
+	_, err = sess.Optimize(context.Background(), runOpts...)
+	faultinject.Disable()
+	if !errors.Is(err, rmq.ErrWorkerPanic) {
+		t.Fatalf("injected worker panic returned %v, want ErrWorkerPanic", err)
+	}
+	var perr *opt.PanicError
+	if !errors.As(err, &perr) || len(perr.Stack) == 0 {
+		t.Fatalf("error %v does not carry the worker's *opt.PanicError", err)
+	}
+
+	// The session keeps serving: the next identical request succeeds and
+	// the shared cache is uncorrupted — two post-panic runs with the same
+	// seed still agree with each other, and the warmed cache is intact.
+	after1, err := sess.Optimize(context.Background(), runOpts...)
+	if err != nil {
+		t.Fatalf("request after contained panic failed: %v", err)
+	}
+	after2, err := sess.Optimize(context.Background(), runOpts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(frontierCosts(after1), frontierCosts(after2)) {
+		t.Error("post-panic runs with equal seeds diverged — shared state corrupted")
+	}
+	checkNonDominated(t, after1)
+	if len(after1.Plans) == 0 || len(before.Plans) == 0 {
+		t.Fatal("empty frontier")
+	}
+	if cs := sess.CacheStats(); cs.Sets == 0 || cs.Plans == 0 {
+		t.Errorf("shared cache emptied by contained panic: %+v", cs)
+	}
+}

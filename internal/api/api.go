@@ -1,0 +1,194 @@
+// Package api holds the wire types of rmqd's HTTP/JSON protocol.
+//
+// The types live in their own package so both sides of the wire can
+// share them: internal/server marshals them, the client package (and
+// cmd/rmqload on top of it) unmarshals them, and an rmqd peer-fetching
+// another rmqd's snapshot uses both at once. Keeping them out of
+// internal/server breaks the import cycle server → client → server
+// that a server-side peer fetch would otherwise create.
+package api
+
+// TableSpec is one base table of an explicit catalog registration.
+type TableSpec struct {
+	Name string  `json:"name,omitempty"`
+	Rows float64 `json:"rows"`
+}
+
+// EdgeSpec is one join-graph edge of an explicit catalog registration.
+type EdgeSpec struct {
+	A           int     `json:"a"`
+	B           int     `json:"b"`
+	Selectivity float64 `json:"selectivity"`
+}
+
+// GenerateSpec asks the server to generate a random catalog with the
+// paper's workload generator instead of listing tables explicitly.
+type GenerateSpec struct {
+	Tables      int    `json:"tables"`
+	Graph       string `json:"graph,omitempty"`       // chain (default), cycle, star
+	Selectivity string `json:"selectivity,omitempty"` // steinbrunn (default), minmax
+	Seed        uint64 `json:"seed,omitempty"`
+}
+
+// CatalogRequest is the body of POST /catalogs: either explicit tables
+// (+ optional edges) or a generate spec, plus per-catalog session
+// settings.
+type CatalogRequest struct {
+	Name     string        `json:"name,omitempty"`
+	Tables   []TableSpec   `json:"tables,omitempty"`
+	Edges    []EdgeSpec    `json:"edges,omitempty"`
+	Generate *GenerateSpec `json:"generate,omitempty"`
+	// SharedCache controls whether the catalog's session retains the
+	// plan cache across requests (warm starts). Default true — serving
+	// repeated traffic is what the service is for.
+	SharedCache *bool `json:"shared_cache,omitempty"`
+	// Retention is the shared-cache retention precision α ≥ 1 bounding
+	// store memory (0 = exact retention).
+	Retention float64 `json:"retention,omitempty"`
+	// PoolLimit caps the session's warmed problem pool; nil selects the
+	// adaptive default.
+	PoolLimit *int `json:"pool_limit,omitempty"`
+	// SnapshotPath names an rmq-snap stream to warm-start the catalog's
+	// session from, resolved inside the server's snapshot directory
+	// (rejected when no -snapshot-dir is configured). The snapshot must
+	// fingerprint-match the catalog being registered.
+	SnapshotPath string `json:"snapshot_path,omitempty"`
+	// Snapshot is the same warm start with the stream carried inline
+	// (base64 in JSON). At most one of Snapshot and SnapshotPath.
+	Snapshot []byte `json:"snapshot,omitempty"`
+	// SnapshotURL is the same warm start fetched from another rmqd's
+	// GET /catalogs/{id}/snapshot endpoint — the peer hand-off path for
+	// warm fleet rollouts. Requires the server to allow outbound
+	// snapshot fetches. At most one of the three snapshot fields.
+	SnapshotURL string `json:"snapshot_url,omitempty"`
+}
+
+// CatalogInfo describes a registered catalog.
+type CatalogInfo struct {
+	ID          string `json:"id"`
+	Name        string `json:"name,omitempty"`
+	Tables      int    `json:"tables"`
+	SharedCache bool   `json:"shared_cache"`
+}
+
+// OptimizeRequest is the body of POST /optimize. TimeoutMS maps to the
+// run's context deadline; MaxIterations bounds optimizer steps per
+// worker; the remaining fields map to the library's functional options.
+type OptimizeRequest struct {
+	Catalog       string   `json:"catalog"`
+	TimeoutMS     float64  `json:"timeout_ms,omitempty"`
+	MaxIterations int      `json:"max_iterations,omitempty"`
+	Metrics       []string `json:"metrics,omitempty"` // time, buffer, disc; default all
+	Algorithm     string   `json:"algorithm,omitempty"`
+	DPAlpha       float64  `json:"dp_alpha,omitempty"`
+	Parallelism   int      `json:"parallelism,omitempty"`
+	Seed          *uint64  `json:"seed,omitempty"`
+	// Retention asserts the shared-cache retention precision this
+	// request expects. It must match the precision the catalog's store
+	// was created with — a mismatch is answered with 409 rather than
+	// silently optimizing under a different memory bound.
+	Retention float64 `json:"retention,omitempty"`
+	// IncludePlans adds each frontier plan's operator tree to the
+	// response (costs alone otherwise).
+	IncludePlans bool `json:"include_plans,omitempty"`
+	// Stream switches the response to server-sent events: "progress"
+	// events with intermediate frontier snapshots roughly every
+	// ProgressEvery iterations, then one final "result" event.
+	Stream        bool `json:"stream,omitempty"`
+	ProgressEvery int  `json:"progress_every,omitempty"`
+}
+
+// PlanJSON is one frontier plan on the wire: its cost vector in the
+// response's metric order, and optionally the operator tree.
+type PlanJSON struct {
+	Cost []float64 `json:"cost"`
+	Tree string    `json:"tree,omitempty"`
+}
+
+// CacheStatsJSON mirrors rmq.CacheStats.
+type CacheStatsJSON struct {
+	Sets  int `json:"sets"`
+	Plans int `json:"plans"`
+	// Bytes estimates the retained plan cache's memory footprint.
+	Bytes int64 `json:"bytes,omitempty"`
+}
+
+// PoolStatsJSON mirrors rmq.PoolStats.
+type PoolStatsJSON struct {
+	Pooled    int `json:"pooled"`
+	HighWater int `json:"high_water"`
+	Dropped   int `json:"dropped"`
+	Limit     int `json:"limit"`
+}
+
+// OptimizeResponse is the non-streaming /optimize response and the
+// payload of a stream's final "result" event.
+type OptimizeResponse struct {
+	Catalog    string     `json:"catalog"`
+	Metrics    []string   `json:"metrics"`
+	Plans      []PlanJSON `json:"plans"`
+	Iterations int        `json:"iterations"`
+	ElapsedMS  float64    `json:"elapsed_ms"`
+	// DeadlineExpired reports that the run was ended by its deadline
+	// (or a client cancellation) rather than an iteration cap or
+	// algorithm completion: the frontier is the anytime best-so-far.
+	DeadlineExpired bool           `json:"deadline_expired"`
+	Cache           CacheStatsJSON `json:"cache"`
+}
+
+// ProgressEvent is the payload of a stream's "progress" events.
+type ProgressEvent struct {
+	Iterations int         `json:"iterations"`
+	ElapsedMS  float64     `json:"elapsed_ms"`
+	Plans      int         `json:"plans"`
+	Frontier   [][]float64 `json:"frontier"`
+}
+
+// QuarantineEvent reports one damaged checkpoint file set aside during
+// LoadCheckpoint: the file (relative to the snapshot directory) and why
+// it could not be trusted. The server keeps serving — warm when an
+// older generation loaded, cold otherwise — but never silently.
+type QuarantineEvent struct {
+	File   string `json:"file"`
+	Reason string `json:"reason"`
+}
+
+// StatsResponse is the GET /stats payload.
+type StatsResponse struct {
+	UptimeMS float64 `json:"uptime_ms"`
+	InFlight int     `json:"in_flight"`
+	Capacity int     `json:"capacity"`
+	Served   uint64  `json:"served"`
+	Rejected uint64  `json:"rejected"`
+	// Panics counts handler panics contained by the recovery boundary;
+	// each failed one request with a 500 instead of killing the process.
+	Panics   uint64         `json:"panics,omitempty"`
+	Catalogs []CatalogStats `json:"catalogs"`
+	// CacheBytes is the estimated memory of all catalogs' shared plan
+	// caches; MaxCacheBytes the configured budget (0 = unbounded), and
+	// ShedEvents how many times the budget forced a retention tighten.
+	CacheBytes    int64  `json:"cache_bytes,omitempty"`
+	MaxCacheBytes int64  `json:"max_cache_bytes,omitempty"`
+	ShedEvents    uint64 `json:"shed_events,omitempty"`
+	// Quarantined lists checkpoint files set aside as damaged at load.
+	Quarantined []QuarantineEvent `json:"quarantined,omitempty"`
+	// Faults reports fired fault-injection sites when a profile is
+	// active (chaos runs only; absent in production).
+	Faults map[string]uint64 `json:"faults,omitempty"`
+}
+
+// CatalogStats is one catalog's row in GET /stats.
+type CatalogStats struct {
+	CatalogInfo
+	Requests uint64         `json:"requests"`
+	Cache    CacheStatsJSON `json:"cache"`
+	Pool     PoolStatsJSON  `json:"pool"`
+	// EffectiveRetention is the cache's current retention precision:
+	// the registered α, or a coarser one after budget shedding.
+	EffectiveRetention float64 `json:"effective_retention,omitempty"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

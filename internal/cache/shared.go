@@ -51,6 +51,12 @@ type Shared struct {
 	in     *tableset.Interner
 	retain float64
 
+	// effRetain is the effective retention precision as float bits
+	// (0 = unset: retain applies). Shed raises it under memory
+	// pressure; admissions prune under it. The declared retain — what
+	// Retention() returns and requests assert against — never changes.
+	effRetain atomic.Uint64
+
 	// version counts publishes that changed the store; SyncState.Pull's
 	// fast path compares it against the last pulled value.
 	version atomic.Uint64
@@ -188,6 +194,7 @@ func (st *SyncState) Publish(c *Cache) (published int) {
 		return 0
 	}
 	sh := st.shared
+	retain := sh.EffectiveRetention()
 	for _, b := range c.dirty {
 		b.dirty = false
 		fresh := b.Since(b.syncMark)
@@ -200,7 +207,7 @@ func (st *SyncState) Publish(c *Cache) (published int) {
 		before := sb.b.epoch
 		n0 := len(sb.b.plans)
 		for _, p := range fresh {
-			sb.b.Insert(p, sh.retain)
+			sb.b.Insert(p, retain)
 		}
 		after := sb.b.epoch
 		grew := len(sb.b.plans) - n0

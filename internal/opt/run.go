@@ -3,13 +3,35 @@ package opt
 import (
 	"context"
 	"errors"
+	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 	"unsafe"
 
+	"rmq/internal/faultinject"
 	"rmq/internal/plan"
 )
+
+// PanicError records a panic recovered at a worker boundary inside Run.
+// The run survives: the failing worker's deposits up to the panic still
+// fold into the shared archive, and Run returns the partial merged
+// result alongside this error. Callers decide whether a partial
+// frontier is acceptable (the anytime guarantee says it is a valid
+// coarser approximation) or the request must fail.
+type PanicError struct {
+	// Worker is the index of the worker whose goroutine panicked.
+	Worker int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("opt: worker %d panicked: %v", e.Worker, e.Value)
+}
 
 // Drive is the anytime driver loop shared by every caller that steps an
 // optimizer: it steps o until the context is cancelled, o reports no
@@ -149,6 +171,13 @@ type mergeShard struct {
 // and the result snapshot drains the inboxes too, so nothing is ever
 // lost. The final plan set is the same as under the old
 // one-big-lock-per-merge scheme; only contention changes.
+//
+// A panic in a worker (the optimizer's Step, a merge, or the Observe
+// callback) is contained at that worker's boundary: the other workers
+// run to completion, the panicking worker's deposits up to the panic
+// still fold in, and Run returns the partial merged result together
+// with a *PanicError per failed worker (joined). Only a panic on the
+// caller's own goroutine before workers start can escape.
 func Run(ctx context.Context, cfg RunConfig) (RunResult, error) {
 	if len(cfg.Workers) == 0 {
 		return RunResult{}, errors.New("opt: run needs at least one worker")
@@ -164,10 +193,12 @@ func Run(ctx context.Context, cfg RunConfig) (RunResult, error) {
 	}
 	start := time.Now() //rmq:allow-detrand(Elapsed telemetry only; never steers the search)
 	var (
-		mu      sync.Mutex // guards archive and inbox draining
-		archive Archive
-		cbMu    sync.Mutex // serializes Observe calls
-		total   atomic.Int64
+		mu       sync.Mutex // guards archive and inbox draining
+		archive  Archive
+		cbMu     sync.Mutex // serializes Observe calls
+		total    atomic.Int64
+		failMu   sync.Mutex // guards failures
+		failures []error
 	)
 	shards := make([]mergeShard, len(cfg.Workers))
 	// drainLocked folds every inbox into the archive; mu must be held.
@@ -177,10 +208,13 @@ func Run(ctx context.Context, cfg RunConfig) (RunResult, error) {
 		improved := false
 		for s := range shards {
 			sh := &shards[s]
-			sh.mu.Lock()
-			batch := sh.pending
-			sh.pending = nil
-			sh.mu.Unlock()
+			batch := func() []*plan.Plan {
+				sh.mu.Lock()
+				defer sh.mu.Unlock()
+				b := sh.pending
+				sh.pending = nil
+				return b
+			}()
 			for _, p := range batch {
 				if archive.Add(p) {
 					improved = true
@@ -196,6 +230,28 @@ func Run(ctx context.Context, cfg RunConfig) (RunResult, error) {
 		return append([]*plan.Plan(nil), archive.Plans()...)
 	}
 	runWorker := func(idx int, w Worker) {
+		// Panic boundary: contain anything the optimizer, the merge
+		// machinery or the Observe callback throws, so one poisoned
+		// worker cannot take down its siblings or the process. The
+		// defer-based unlocks below guarantee the unwind releases every
+		// lock, and the best-effort drain folds whatever the worker
+		// deposited before dying.
+		defer func() {
+			r := recover()
+			if r == nil {
+				return
+			}
+			perr := &PanicError{Worker: idx, Value: r, Stack: debug.Stack()}
+			failMu.Lock()
+			failures = append(failures, perr)
+			failMu.Unlock()
+			func() {
+				defer func() { _ = recover() }() // a second panic stays contained too
+				mu.Lock()
+				defer mu.Unlock()
+				drainLocked()
+			}()
+		}()
 		w.Optimizer.Init(w.Problem, w.Seed)
 		df, _ := w.Optimizer.(DeltaFrontier)
 		if cfg.Merge == MergeFull {
@@ -217,8 +273,8 @@ func Run(ctx context.Context, cfg RunConfig) (RunResult, error) {
 			// the plans themselves are immutable: copying the pointers
 			// into the inbox is all the hand-off needs.
 			sh.mu.Lock()
+			defer sh.mu.Unlock()
 			sh.pending = append(sh.pending, fresh...)
-			sh.mu.Unlock()
 		}
 		fold := func(blocking bool) (folded, improved bool) {
 			if blocking {
@@ -226,9 +282,8 @@ func Run(ctx context.Context, cfg RunConfig) (RunResult, error) {
 			} else if !mu.TryLock() {
 				return false, false
 			}
-			improved = drainLocked()
-			mu.Unlock()
-			return true, improved
+			defer mu.Unlock()
+			return true, drainLocked()
 		}
 		notify := func(improved bool) {
 			if cfg.Observe == nil {
@@ -253,6 +308,18 @@ func Run(ctx context.Context, cfg RunConfig) (RunResult, error) {
 		sinceMerge := 0
 		merged := false
 		Drive(ctx, w.Optimizer, cfg.MaxIterations, func(int) bool {
+			// Fault-injection site: a panic kind panics out of Check and
+			// exercises the worker boundary above; an error kind aborts
+			// just this worker, whose partial frontier still merges. The
+			// site sits between steps, where the worker holds no locks,
+			// so injected panics probe the recovery path without
+			// depending on the defer-unlock hardening they ride past.
+			if err := faultinject.Check("opt.worker.step"); err != nil {
+				failMu.Lock()
+				failures = append(failures, fmt.Errorf("opt: worker %d aborted: %w", idx, err))
+				failMu.Unlock()
+				return false
+			}
 			total.Add(1)
 			if cfg.Observe != nil {
 				sinceMerge++
@@ -296,9 +363,12 @@ func Run(ctx context.Context, cfg RunConfig) (RunResult, error) {
 		}
 		wg.Wait()
 	}
-	return RunResult{
+	res := RunResult{
 		Plans:      snapshot(),
 		Iterations: int(total.Load()),
 		Elapsed:    time.Since(start), //rmq:allow-detrand(Elapsed telemetry only; never steers the search)
-	}, nil
+	}
+	failMu.Lock()
+	defer failMu.Unlock()
+	return res, errors.Join(failures...)
 }

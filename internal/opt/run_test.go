@@ -5,7 +5,10 @@ import (
 	"testing"
 	"time"
 
+	"errors"
+
 	"rmq/internal/cost"
+	"rmq/internal/faultinject"
 	"rmq/internal/plan"
 )
 
@@ -345,5 +348,114 @@ func TestRunCancelledReturnsPartialResult(t *testing.T) {
 	}
 	if time.Duration(0) > res.Elapsed {
 		t.Errorf("elapsed = %v", res.Elapsed)
+	}
+}
+
+// panicOpt panics on its n-th Step call (1-based), revealing scripted
+// plans before that.
+type panicOpt struct {
+	scriptedOpt
+	panicAt int
+	steps   int
+}
+
+func (p *panicOpt) Step() bool {
+	p.steps++
+	if p.steps == p.panicAt {
+		panic("optimizer poisoned")
+	}
+	return p.scriptedOpt.Step()
+}
+
+func TestRunContainsWorkerPanic(t *testing.T) {
+	bad := &panicOpt{
+		scriptedOpt: scriptedOpt{script: plans([]float64{1, 9, 9}, []float64{8, 8, 8})},
+		panicAt:     2,
+	}
+	good := &scriptedOpt{script: plans([]float64{9, 9, 1}, []float64{9, 1, 9})}
+	res, err := Run(context.Background(), RunConfig{
+		Workers: []Worker{
+			{Optimizer: bad, Problem: testProblem(t)},
+			{Optimizer: good, Problem: testProblem(t)},
+		},
+		Observe: func(Event) {}, // per-step merges: the bad worker deposits before dying
+	})
+	if err == nil {
+		t.Fatal("worker panic not reported")
+	}
+	var perr *PanicError
+	if !errors.As(err, &perr) {
+		t.Fatalf("error %v does not wrap *PanicError", err)
+	}
+	if perr.Worker != 0 || perr.Value != "optimizer poisoned" || len(perr.Stack) == 0 {
+		t.Errorf("PanicError = {Worker:%d Value:%v Stack:%d bytes}", perr.Worker, perr.Value, len(perr.Stack))
+	}
+	// The healthy worker ran to completion and the panicking worker's
+	// pre-panic deposit folded in: all three one-axis plans survive.
+	if len(res.Plans) != 3 {
+		t.Fatalf("partial merge = %v, want 3 plans", Costs(res.Plans))
+	}
+}
+
+func TestRunPanicInObserveContained(t *testing.T) {
+	o := &scriptedOpt{script: plans([]float64{1, 1, 1}, []float64{2, 2, 2})}
+	_, err := Run(context.Background(), RunConfig{
+		Workers: []Worker{{Optimizer: o, Problem: testProblem(t)}},
+		Observe: func(Event) { panic("observer bug") },
+	})
+	var perr *PanicError
+	if !errors.As(err, &perr) || perr.Value != "observer bug" {
+		t.Fatalf("observer panic not contained as *PanicError: %v", err)
+	}
+}
+
+func TestRunInjectedStepPanic(t *testing.T) {
+	faultinject.Enable(faultinject.MustParse("opt.worker.step=panic#1"))
+	defer faultinject.Disable()
+	bad := &scriptedOpt{script: plans([]float64{1, 9, 9}, []float64{8, 8, 8})}
+	good := &scriptedOpt{script: plans([]float64{9, 9, 1}, []float64{9, 1, 9})}
+	res, err := Run(context.Background(), RunConfig{
+		Workers: []Worker{
+			{Optimizer: bad, Problem: testProblem(t)},
+			{Optimizer: good, Problem: testProblem(t)},
+		},
+	})
+	var perr *PanicError
+	if !errors.As(err, &perr) {
+		t.Fatalf("injected panic not contained: %v", err)
+	}
+	if fe, ok := perr.Value.(*faultinject.Error); !ok || fe.Site != "opt.worker.step" {
+		t.Fatalf("panic value = %v, want injected fault error", perr.Value)
+	}
+	// Exactly one worker died (the site fires once); the sibling finished.
+	if len(res.Plans) == 0 {
+		t.Fatal("surviving worker contributed no plans")
+	}
+}
+
+func TestRunInjectedStepErrorAbortsOneWorker(t *testing.T) {
+	faultinject.Enable(faultinject.MustParse("opt.worker.step=error#1"))
+	defer faultinject.Disable()
+	w1 := &scriptedOpt{script: plans([]float64{1, 9, 9}, []float64{8, 8, 8})}
+	w2 := &scriptedOpt{script: plans([]float64{9, 9, 1}, []float64{9, 1, 9})}
+	res, err := Run(context.Background(), RunConfig{
+		Workers: []Worker{
+			{Optimizer: w1, Problem: testProblem(t)},
+			{Optimizer: w2, Problem: testProblem(t)},
+		},
+	})
+	if err == nil {
+		t.Fatal("injected step error not reported")
+	}
+	var perr *PanicError
+	if errors.As(err, &perr) {
+		t.Fatalf("error kind must abort, not panic: %v", err)
+	}
+	if !faultinject.IsInjected(err) {
+		t.Fatalf("error %v does not wrap the injected fault", err)
+	}
+	// The aborted worker's partial frontier still merged (final fold).
+	if len(res.Plans) == 0 {
+		t.Fatal("no plans survived the aborted worker")
 	}
 }

@@ -5,9 +5,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"rmq"
+	"rmq/internal/faultinject"
 )
 
 // handleOptimize serves POST /optimize: request decoding and
@@ -47,17 +49,36 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 
 	// Admission control: reject immediately instead of queueing into
 	// the client's deadline — under overload a fast 429 with a
-	// Retry-After hint beats a slow timeout.
+	// Retry-After hint beats a slow timeout. The hint is derived from
+	// observed service time and the in-flight depth, so retrying clients
+	// back off in proportion to how saturated the server actually is.
 	select {
 	case s.sem <- struct{}{}:
 		defer func() { <-s.sem }()
 	default:
 		s.rejected.Add(1)
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterHint()))
 		writeError(w, http.StatusTooManyRequests,
 			"server at capacity (%d requests in flight)", cap(s.sem))
 		return
 	}
+
+	// Fault-injection site for chaos runs: an injected error fails this
+	// request (admitted, nothing executed yet); an injected panic
+	// exercises the recovery boundary. Compiled to one atomic load when
+	// no profile is active.
+	if err := faultinject.Check("server.optimize"); err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	// Feed the observed service time into the Retry-After EWMA and, when
+	// a cache budget is set, re-check it once the run's admissions are
+	// all in.
+	begin := time.Now()
+	defer func() {
+		s.observeService(time.Since(begin))
+		s.enforceCacheBudget()
+	}()
 
 	// The request deadline is the optimization budget (the anytime
 	// contract): timeout_ms if given, the server default otherwise —

@@ -25,10 +25,12 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"net/url"
 	"runtime"
 	"strconv"
 	"strings"
@@ -37,6 +39,9 @@ import (
 	"time"
 
 	"rmq"
+	"rmq/client"
+	"rmq/internal/api"
+	"rmq/internal/faultinject"
 )
 
 // Config parameterizes a Server. The zero value serves with sensible
@@ -72,6 +77,16 @@ type Config struct {
 	// POST /catalogs/{id}/snapshot checkpoints one catalog on demand.
 	// Registration snapshot_path values resolve inside it.
 	SnapshotDir string
+	// MaxCacheBytes budgets the estimated memory of all catalogs'
+	// shared plan caches. When the total exceeds it, the server tightens
+	// cache retention (Lemma-6 pruning bounds what survives) instead of
+	// growing until the OOM killer picks a victim. 0 means unbounded.
+	MaxCacheBytes int64
+	// AllowSnapshotFetch permits registrations carrying snapshot_url to
+	// fetch their warm-start stream from another rmqd. Off by default:
+	// it makes the server issue outbound requests to a caller-supplied
+	// URL, which an operator must opt into.
+	AllowSnapshotFetch bool
 	// Logf, when non-nil, receives one line per notable event
 	// (registrations, rejections). The hot path never logs.
 	Logf func(format string, args ...any)
@@ -93,6 +108,21 @@ type Server struct {
 
 	served   atomic.Uint64
 	rejected atomic.Uint64
+	panics   atomic.Uint64
+	// service is an EWMA of observed /optimize service time in
+	// nanoseconds; it sizes the Retry-After hint on 429.
+	service atomic.Int64
+	// shedEvents counts cache-budget retention tightenings.
+	shedEvents atomic.Uint64
+
+	evMu sync.Mutex
+	// quarantined records checkpoint files set aside as damaged during
+	// LoadCheckpoint, surfaced in /stats.
+	quarantined []QuarantineEvent
+
+	// shedMu serializes cache-budget enforcement; concurrent requests
+	// finding the store over budget must not all replay the prune.
+	shedMu sync.Mutex
 
 	mu       sync.RWMutex
 	catalogs map[string]*catalogEntry
@@ -152,11 +182,156 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// ServeHTTP dispatches to the service's routes.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP dispatches to the service's routes behind a panic-recovery
+// boundary: a panicking handler fails its own request with a 500 and a
+// JSON error body instead of killing the whole process, and the next
+// request on the same server serves normally. http.ErrAbortHandler is
+// re-panicked — it is net/http's own control flow for aborting a
+// response, not a failure to report.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rw := &recoverableWriter{ResponseWriter: w}
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			return
+		}
+		if rec == http.ErrAbortHandler {
+			panic(rec)
+		}
+		s.panics.Add(1)
+		s.logf("panic serving %s %s: %v", r.Method, r.URL.Path, rec)
+		if !rw.wrote {
+			writeError(w, http.StatusInternalServerError, "internal error: %v", rec)
+		}
+		// Headers already sent (e.g. mid-stream): the response ends
+		// truncated; recovering here still keeps the process alive.
+	}()
+	s.mux.ServeHTTP(rw, r)
+}
+
+// recoverableWriter tracks whether the response was started, so the
+// recovery boundary knows if a 500 can still be written, and preserves
+// http.Flusher for the SSE streaming path.
+type recoverableWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (rw *recoverableWriter) WriteHeader(code int) {
+	rw.wrote = true
+	rw.ResponseWriter.WriteHeader(code)
+}
+
+func (rw *recoverableWriter) Write(b []byte) (int, error) {
+	rw.wrote = true
+	return rw.ResponseWriter.Write(b)
+}
+
+// Flush implements http.Flusher when the underlying writer does; a
+// no-op otherwise (streaming then degrades to one buffered response
+// rather than failing).
+func (rw *recoverableWriter) Flush() {
+	if fl, ok := rw.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
 
 // InFlight returns the number of currently admitted /optimize requests.
 func (s *Server) InFlight() int { return len(s.sem) }
+
+// observeService folds one /optimize service time into the EWMA behind
+// the Retry-After hint (decay 1/8: a few requests dominate, history
+// fades fast enough to track load shifts).
+func (s *Server) observeService(d time.Duration) {
+	for { //rmq:allow-loop(CAS retry loop, bounded by contention)
+		old := s.service.Load()
+		next := old + (int64(d)-old)/8
+		if s.service.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// retryAfterHint sizes a 429's Retry-After in whole seconds from the
+// observed service-time EWMA scaled by the in-flight depth: the fuller
+// the server, the longer a retry should wait for a slot to drain.
+// Clamped to [1, 60] — always a positive integer, never an hour.
+func (s *Server) retryAfterHint() int {
+	ewma := time.Duration(s.service.Load())
+	depth := float64(len(s.sem)) / float64(cap(s.sem))
+	secs := int((time.Duration(float64(ewma)*depth) + time.Second - 1) / time.Second)
+	return min(max(secs, 1), 60)
+}
+
+// entries snapshots the registered catalogs.
+func (s *Server) entries() []*catalogEntry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*catalogEntry, 0, len(s.catalogs))
+	for _, e := range s.catalogs {
+		out = append(out, e)
+	}
+	return out
+}
+
+// cacheBytes estimates the retained memory of all catalogs' shared
+// plan caches.
+func (s *Server) cacheBytes() int64 {
+	var total int64
+	for _, e := range s.entries() {
+		total += e.sess.CacheBytes()
+	}
+	return total
+}
+
+// enforceCacheBudget sheds plan-cache memory when the estimated total
+// exceeds MaxCacheBytes: it tightens every catalog's effective cache
+// retention in escalating steps (α 2, 4, … 64) until the estimate is
+// back under budget. By the anytime contract each surviving cache is a
+// valid coarser-α frontier set — the server degrades warm-start detail
+// instead of growing until the OOM killer picks a victim. Runs after
+// requests, off the request's critical path; concurrent callers
+// coalesce onto one shedder. Steps a catalog has already reached are
+// skipped (admission under the raised retention keeps its stores
+// pruned), so a server pinned over budget at the α = 64 ceiling does
+// no repeated sweeping — it has already shed everything this design
+// allows.
+func (s *Server) enforceCacheBudget() {
+	if s.cfg.MaxCacheBytes <= 0 || s.cacheBytes() <= s.cfg.MaxCacheBytes {
+		return
+	}
+	if !s.shedMu.TryLock() {
+		return // a concurrent request is already shedding
+	}
+	defer s.shedMu.Unlock()
+	for alpha := 2.0; alpha <= 64; alpha *= 2 {
+		total := s.cacheBytes()
+		if total <= s.cfg.MaxCacheBytes {
+			return
+		}
+		removed, tightened := 0, false
+		for _, e := range s.entries() {
+			if alpha > e.sess.EffectiveRetention() {
+				removed += e.sess.TightenCache(alpha)
+				tightened = true
+			}
+		}
+		if !tightened {
+			continue
+		}
+		s.shedEvents.Add(1)
+		s.logf("cache budget: %d bytes over %d, tightened retention to α = %v, dropped %d plans",
+			total, s.cfg.MaxCacheBytes, alpha, removed)
+	}
+}
+
+// recordQuarantine notes a damaged checkpoint file for /stats.
+func (s *Server) recordQuarantine(file, reason string) {
+	s.evMu.Lock()
+	s.quarantined = append(s.quarantined, QuarantineEvent{File: file, Reason: reason})
+	s.evMu.Unlock()
+	s.logf("quarantined checkpoint file %s: %s", file, reason)
+}
 
 func (s *Server) logf(format string, args ...any) {
 	if s.cfg.Logf != nil {
@@ -165,157 +340,28 @@ func (s *Server) logf(format string, args ...any) {
 }
 
 // --- wire types ---
+//
+// The protocol's JSON types live in internal/api (shared with the
+// client package); the aliases keep this package's vocabulary — and its
+// tests — unchanged.
 
-// TableSpec is one base table of an explicit catalog registration.
-type TableSpec struct {
-	Name string  `json:"name,omitempty"`
-	Rows float64 `json:"rows"`
-}
-
-// EdgeSpec is one join-graph edge of an explicit catalog registration.
-type EdgeSpec struct {
-	A           int     `json:"a"`
-	B           int     `json:"b"`
-	Selectivity float64 `json:"selectivity"`
-}
-
-// GenerateSpec asks the server to generate a random catalog with the
-// paper's workload generator instead of listing tables explicitly.
-type GenerateSpec struct {
-	Tables      int    `json:"tables"`
-	Graph       string `json:"graph,omitempty"`       // chain (default), cycle, star
-	Selectivity string `json:"selectivity,omitempty"` // steinbrunn (default), minmax
-	Seed        uint64 `json:"seed,omitempty"`
-}
-
-// CatalogRequest is the body of POST /catalogs: either explicit tables
-// (+ optional edges) or a generate spec, plus per-catalog session
-// settings.
-type CatalogRequest struct {
-	Name     string        `json:"name,omitempty"`
-	Tables   []TableSpec   `json:"tables,omitempty"`
-	Edges    []EdgeSpec    `json:"edges,omitempty"`
-	Generate *GenerateSpec `json:"generate,omitempty"`
-	// SharedCache controls whether the catalog's session retains the
-	// plan cache across requests (warm starts). Default true — serving
-	// repeated traffic is what the service is for.
-	SharedCache *bool `json:"shared_cache,omitempty"`
-	// Retention is the shared-cache retention precision α ≥ 1 bounding
-	// store memory (0 = exact retention).
-	Retention float64 `json:"retention,omitempty"`
-	// PoolLimit caps the session's warmed problem pool; nil selects the
-	// adaptive default.
-	PoolLimit *int `json:"pool_limit,omitempty"`
-	// SnapshotPath names an rmq-snap stream to warm-start the catalog's
-	// session from, resolved inside the server's snapshot directory
-	// (rejected when no -snapshot-dir is configured). The snapshot must
-	// fingerprint-match the catalog being registered.
-	SnapshotPath string `json:"snapshot_path,omitempty"`
-	// Snapshot is the same warm start with the stream carried inline
-	// (base64 in JSON). At most one of Snapshot and SnapshotPath.
-	Snapshot []byte `json:"snapshot,omitempty"`
-}
-
-// CatalogInfo describes a registered catalog.
-type CatalogInfo struct {
-	ID          string `json:"id"`
-	Name        string `json:"name,omitempty"`
-	Tables      int    `json:"tables"`
-	SharedCache bool   `json:"shared_cache"`
-}
-
-// OptimizeRequest is the body of POST /optimize. TimeoutMS maps to the
-// run's context deadline; MaxIterations bounds optimizer steps per
-// worker; the remaining fields map to the library's functional options.
-type OptimizeRequest struct {
-	Catalog       string   `json:"catalog"`
-	TimeoutMS     float64  `json:"timeout_ms,omitempty"`
-	MaxIterations int      `json:"max_iterations,omitempty"`
-	Metrics       []string `json:"metrics,omitempty"` // time, buffer, disc; default all
-	Algorithm     string   `json:"algorithm,omitempty"`
-	DPAlpha       float64  `json:"dp_alpha,omitempty"`
-	Parallelism   int      `json:"parallelism,omitempty"`
-	Seed          *uint64  `json:"seed,omitempty"`
-	// Retention asserts the shared-cache retention precision this
-	// request expects. It must match the precision the catalog's store
-	// was created with — a mismatch is answered with 409 rather than
-	// silently optimizing under a different memory bound.
-	Retention float64 `json:"retention,omitempty"`
-	// IncludePlans adds each frontier plan's operator tree to the
-	// response (costs alone otherwise).
-	IncludePlans bool `json:"include_plans,omitempty"`
-	// Stream switches the response to server-sent events: "progress"
-	// events with intermediate frontier snapshots roughly every
-	// ProgressEvery iterations, then one final "result" event.
-	Stream        bool `json:"stream,omitempty"`
-	ProgressEvery int  `json:"progress_every,omitempty"`
-}
-
-// PlanJSON is one frontier plan on the wire: its cost vector in the
-// response's metric order, and optionally the operator tree.
-type PlanJSON struct {
-	Cost []float64 `json:"cost"`
-	Tree string    `json:"tree,omitempty"`
-}
-
-// CacheStatsJSON mirrors rmq.CacheStats.
-type CacheStatsJSON struct {
-	Sets  int `json:"sets"`
-	Plans int `json:"plans"`
-}
-
-// PoolStatsJSON mirrors rmq.PoolStats.
-type PoolStatsJSON struct {
-	Pooled    int `json:"pooled"`
-	HighWater int `json:"high_water"`
-	Dropped   int `json:"dropped"`
-	Limit     int `json:"limit"`
-}
-
-// OptimizeResponse is the non-streaming /optimize response and the
-// payload of a stream's final "result" event.
-type OptimizeResponse struct {
-	Catalog    string     `json:"catalog"`
-	Metrics    []string   `json:"metrics"`
-	Plans      []PlanJSON `json:"plans"`
-	Iterations int        `json:"iterations"`
-	ElapsedMS  float64    `json:"elapsed_ms"`
-	// DeadlineExpired reports that the run was ended by its deadline
-	// (or a client cancellation) rather than an iteration cap or
-	// algorithm completion: the frontier is the anytime best-so-far.
-	DeadlineExpired bool           `json:"deadline_expired"`
-	Cache           CacheStatsJSON `json:"cache"`
-}
-
-// ProgressEvent is the payload of a stream's "progress" events.
-type ProgressEvent struct {
-	Iterations int         `json:"iterations"`
-	ElapsedMS  float64     `json:"elapsed_ms"`
-	Plans      int         `json:"plans"`
-	Frontier   [][]float64 `json:"frontier"`
-}
-
-// StatsResponse is the GET /stats payload.
-type StatsResponse struct {
-	UptimeMS float64        `json:"uptime_ms"`
-	InFlight int            `json:"in_flight"`
-	Capacity int            `json:"capacity"`
-	Served   uint64         `json:"served"`
-	Rejected uint64         `json:"rejected"`
-	Catalogs []CatalogStats `json:"catalogs"`
-}
-
-// CatalogStats is one catalog's row in GET /stats.
-type CatalogStats struct {
-	CatalogInfo
-	Requests uint64         `json:"requests"`
-	Cache    CacheStatsJSON `json:"cache"`
-	Pool     PoolStatsJSON  `json:"pool"`
-}
-
-type errorResponse struct {
-	Error string `json:"error"`
-}
+type (
+	TableSpec        = api.TableSpec
+	EdgeSpec         = api.EdgeSpec
+	GenerateSpec     = api.GenerateSpec
+	CatalogRequest   = api.CatalogRequest
+	CatalogInfo      = api.CatalogInfo
+	OptimizeRequest  = api.OptimizeRequest
+	PlanJSON         = api.PlanJSON
+	CacheStatsJSON   = api.CacheStatsJSON
+	PoolStatsJSON    = api.PoolStatsJSON
+	OptimizeResponse = api.OptimizeResponse
+	ProgressEvent    = api.ProgressEvent
+	QuarantineEvent  = api.QuarantineEvent
+	StatsResponse    = api.StatsResponse
+	CatalogStats     = api.CatalogStats
+	errorResponse    = api.ErrorResponse
+)
 
 // --- helpers ---
 
@@ -375,7 +421,7 @@ func (s *Server) handleRegisterCatalog(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad catalog request: %v", err)
 		return
 	}
-	snap, err := s.registrationSnapshot(&req)
+	snap, err := s.registrationSnapshot(r.Context(), &req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -391,23 +437,44 @@ func (s *Server) handleRegisterCatalog(w http.ResponseWriter, r *http.Request) {
 }
 
 // registrationSnapshot resolves a register request's warm-start
-// snapshot: the inline bytes, or the contents of snapshot_path resolved
-// inside the server's snapshot directory. nil means a cold start.
-func (s *Server) registrationSnapshot(req *CatalogRequest) ([]byte, error) {
-	if req.SnapshotPath != "" && len(req.Snapshot) > 0 {
-		return nil, fmt.Errorf("give snapshot_path or snapshot, not both")
+// snapshot: the inline bytes, the contents of snapshot_path resolved
+// inside the server's snapshot directory, or — when the operator opted
+// in — the stream fetched from another rmqd's snapshot endpoint with
+// the client package's retry policy (the warm fleet-rollout hand-off).
+// nil means a cold start.
+func (s *Server) registrationSnapshot(ctx context.Context, req *CatalogRequest) ([]byte, error) {
+	given := 0
+	for _, set := range []bool{len(req.Snapshot) > 0, req.SnapshotPath != "", req.SnapshotURL != ""} {
+		if set {
+			given++
+		}
 	}
-	if req.SnapshotPath == "" {
-		return req.Snapshot, nil
+	if given > 1 {
+		return nil, fmt.Errorf("give at most one of snapshot, snapshot_path and snapshot_url")
 	}
-	if s.cfg.SnapshotDir == "" {
-		return nil, fmt.Errorf("snapshot_path requires the server to run with a snapshot directory")
+	switch {
+	case req.SnapshotPath != "":
+		if s.cfg.SnapshotDir == "" {
+			return nil, fmt.Errorf("snapshot_path requires the server to run with a snapshot directory")
+		}
+		return readSnapshotFile(s.cfg.SnapshotDir, req.SnapshotPath)
+	case req.SnapshotURL != "":
+		if !s.cfg.AllowSnapshotFetch {
+			return nil, fmt.Errorf("snapshot_url requires the server to allow outbound snapshot fetches")
+		}
+		u, err := url.Parse(req.SnapshotURL)
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return nil, fmt.Errorf("snapshot_url must be an absolute http(s) URL")
+		}
+		ctx, cancel := context.WithTimeout(ctx, s.cfg.MaxTimeout)
+		defer cancel()
+		data, err := (&client.Client{}).FetchURL(ctx, req.SnapshotURL)
+		if err != nil {
+			return nil, fmt.Errorf("fetching snapshot_url: %w", err)
+		}
+		return data, nil
 	}
-	data, err := readSnapshotFile(s.cfg.SnapshotDir, req.SnapshotPath)
-	if err != nil {
-		return nil, err
-	}
-	return data, nil
+	return req.Snapshot, nil
 }
 
 // buildCatalog materializes the catalog a registration request
@@ -571,27 +638,35 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	entries := make([]*catalogEntry, 0, len(s.catalogs))
-	for _, e := range s.catalogs {
-		entries = append(entries, e)
-	}
-	s.mu.RUnlock()
+	entries := s.entries()
 	resp := StatsResponse{
-		UptimeMS: float64(time.Since(s.start)) / float64(time.Millisecond),
-		InFlight: s.InFlight(),
-		Capacity: cap(s.sem),
-		Served:   s.served.Load(),
-		Rejected: s.rejected.Load(),
-		Catalogs: make([]CatalogStats, 0, len(entries)),
+		UptimeMS:      float64(time.Since(s.start)) / float64(time.Millisecond),
+		InFlight:      s.InFlight(),
+		Capacity:      cap(s.sem),
+		Served:        s.served.Load(),
+		Rejected:      s.rejected.Load(),
+		Panics:        s.panics.Load(),
+		MaxCacheBytes: s.cfg.MaxCacheBytes,
+		ShedEvents:    s.shedEvents.Load(),
+		Catalogs:      make([]CatalogStats, 0, len(entries)),
+	}
+	s.evMu.Lock()
+	if len(s.quarantined) > 0 {
+		resp.Quarantined = append([]QuarantineEvent(nil), s.quarantined...)
+	}
+	s.evMu.Unlock()
+	if faultinject.Enabled() {
+		resp.Faults = faultinject.Stats()
 	}
 	for _, e := range entries {
 		cs := e.sess.CacheStats()
 		ps := e.sess.PoolStats()
+		resp.CacheBytes += cs.Bytes
 		resp.Catalogs = append(resp.Catalogs, CatalogStats{
-			CatalogInfo: e.info(),
-			Requests:    e.requests.Load(),
-			Cache:       CacheStatsJSON{Sets: cs.Sets, Plans: cs.Plans},
+			CatalogInfo:        e.info(),
+			Requests:           e.requests.Load(),
+			Cache:              CacheStatsJSON{Sets: cs.Sets, Plans: cs.Plans, Bytes: cs.Bytes},
+			EffectiveRetention: e.sess.EffectiveRetention(),
 			Pool: PoolStatsJSON{
 				Pooled: ps.Pooled, HighWater: ps.HighWater,
 				Dropped: ps.Dropped, Limit: ps.Limit,
@@ -602,11 +677,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 // errStatus maps an rmq.Optimize error to an HTTP status: retention
-// conflicts are 409 (the request contradicts server-side state), every
-// other library error is a request problem.
+// conflicts are 409 (the request contradicts server-side state), a
+// contained worker panic or injected fault is a server-side failure
+// (500) — the request failed, the process and its caches did not —
+// and every other library error is a request problem.
 func errStatus(err error) int {
-	if errors.Is(err, rmq.ErrRetentionMismatch) {
+	switch {
+	case errors.Is(err, rmq.ErrRetentionMismatch):
 		return http.StatusConflict
+	case errors.Is(err, rmq.ErrWorkerPanic), faultinject.IsInjected(err):
+		return http.StatusInternalServerError
 	}
 	return http.StatusBadRequest
 }

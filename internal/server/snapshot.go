@@ -9,16 +9,28 @@ package server
 // and persists them with write-to-temp + fsync + atomic rename, so a
 // crash mid-checkpoint leaves the previous checkpoint intact.
 //
-// A checkpointed catalog is two files in the snapshot directory:
+// A checkpointed catalog is up to three files in the snapshot
+// directory:
 //
-//	<id>.json  the registration manifest (sanitized CatalogRequest)
-//	<id>.snap  the rmq-snap/v1 stream of the session's plan caches
+//	<id>.json       the registration manifest (sanitized CatalogRequest)
+//	<id>.snap       the rmq-snap/v1 stream of the session's plan caches
+//	<id>.snap.prev  the previous snapshot generation
 //
-// LoadCheckpoint replays the manifests at startup, re-registering every
-// catalog under its persisted id and warm-starting its session from the
-// .snap file. A damaged or fingerprint-skewed snapshot demotes that
-// catalog to a cold start (logged, never fatal): serving cold beats not
-// serving, and the next checkpoint overwrites the bad file.
+// Each checkpoint rotates the current snapshot to .prev before
+// installing the new one, so there is always a last-good generation
+// even when the install itself is torn or runs out of disk: the stream
+// carries a CRC32 trailer, and LoadCheckpoint falls back from a
+// damaged .snap to .snap.prev before demoting the catalog to a cold
+// start (logged, never fatal — serving cold beats not serving). Files
+// that fail verification are renamed aside with a .quarantined suffix
+// and surfaced in GET /stats, so corruption is preserved for diagnosis
+// instead of being silently overwritten by the next checkpoint.
+//
+// Every file operation on the durability path goes through
+// internal/faultinject's wrappers (sites checkpoint.tmp, .write, .sync,
+// .rename, .rotate), so chaos runs can kill writes mid-stream, tear
+// renames and fill the disk, and the crash-consistency tests can assert
+// that recovery always finds the newest intact generation.
 
 import (
 	"encoding/json"
@@ -29,6 +41,8 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+
+	"rmq/internal/faultinject"
 )
 
 // maxSnapshotBytes bounds snapshot files read back by the server; a
@@ -127,11 +141,14 @@ func (s *Server) Checkpoint() error {
 }
 
 // checkpointEntry writes one catalog's snapshot and manifest, returning
-// the snapshot size in bytes. The manifest is written after the
-// snapshot: LoadCheckpoint drives discovery off manifests, so a crash
-// between the two writes leaves either the old pair or a fresh snapshot
-// the old manifest still matches — never a manifest pointing at
-// nothing.
+// the snapshot size in bytes. The current snapshot generation is
+// rotated to .prev before the new one is installed, so even a torn
+// install (which the rename's atomicity normally rules out, but a
+// dying filesystem does not) leaves a verifiable last-good generation.
+// The manifest is written after the snapshot: LoadCheckpoint drives
+// discovery off manifests, so a crash between the writes leaves either
+// the old pair or a fresh snapshot the old manifest still matches —
+// never a manifest pointing at nothing.
 func (s *Server) checkpointEntry(e *catalogEntry) (int, error) {
 	data, err := e.sess.Snapshot()
 	if err != nil {
@@ -141,8 +158,14 @@ func (s *Server) checkpointEntry(e *catalogEntry) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	if err := os.MkdirAll(s.cfg.SnapshotDir, 0o755); err != nil {
+	if err := faultinject.MkdirAll("checkpoint.mkdir", s.cfg.SnapshotDir, 0o755); err != nil {
 		return 0, err
+	}
+	cur := filepath.Join(s.cfg.SnapshotDir, e.id+".snap")
+	if _, err := os.Stat(cur); err == nil {
+		if err := faultinject.Rename("checkpoint.rotate", cur, cur+".prev"); err != nil {
+			return 0, fmt.Errorf("rotating previous snapshot: %w", err)
+		}
 	}
 	if err := writeFileAtomic(s.cfg.SnapshotDir, e.id+".snap", data); err != nil {
 		return 0, err
@@ -171,11 +194,8 @@ func (s *Server) pruneCheckpoints(live []*catalogEntry) error {
 	var errs []error
 	for _, ent := range names {
 		name := ent.Name()
-		ext := filepath.Ext(name)
-		if ext != ".snap" && ext != ".json" {
-			continue
-		}
-		if alive[strings.TrimSuffix(name, ext)] {
+		id, ok := checkpointOwner(name)
+		if !ok || alive[id] {
 			continue
 		}
 		if err := os.Remove(filepath.Join(s.cfg.SnapshotDir, name)); err != nil {
@@ -185,14 +205,37 @@ func (s *Server) pruneCheckpoints(live []*catalogEntry) error {
 	return errors.Join(errs...)
 }
 
+// checkpointOwner maps a checkpoint file name to the catalog id that
+// owns it, across every generation and quarantine suffix (<id>.snap,
+// <id>.snap.prev, <id>.json, and any of them + .quarantined). Files
+// with other names are not checkpoint files and are left alone.
+func checkpointOwner(name string) (string, bool) {
+	name = strings.TrimSuffix(name, ".quarantined")
+	name = strings.TrimSuffix(name, ".prev")
+	if id := strings.TrimSuffix(name, ".snap"); id != name {
+		return id, true
+	}
+	if id := strings.TrimSuffix(name, ".json"); id != name {
+		return id, true
+	}
+	return "", false
+}
+
 // LoadCheckpoint re-registers every catalog checkpointed in the
-// snapshot directory, warm-starting each session from its .snap file.
-// Catalogs keep their persisted ids (clients resume against the ids
-// they know) and the id counter advances past them. A catalog whose
-// snapshot fails to restore — corrupt file, codec version skew, a
-// manifest edited to a different catalog — is re-registered cold with
-// the failure logged; a manifest that cannot even be re-registered is
-// skipped. It is a no-op without a snapshot directory.
+// snapshot directory, warm-starting each session from the newest
+// snapshot generation that verifies: <id>.snap first, <id>.snap.prev
+// when the primary is damaged or missing. Catalogs keep their persisted
+// ids (clients resume against the ids they know) and the id counter
+// advances past them.
+//
+// A generation that fails to read or restore — truncated by a crash,
+// torn by a dying filesystem (the stream's CRC32 trailer catches it),
+// ENOSPC'd mid-write, or fingerprint-skewed against its manifest — is
+// quarantined: renamed aside with a .quarantined suffix and recorded
+// for GET /stats, so the evidence survives the next checkpoint. Only
+// when no generation verifies is the catalog re-registered cold
+// (logged, never fatal); a manifest that cannot even be re-registered
+// is skipped. It is a no-op without a snapshot directory.
 func (s *Server) LoadCheckpoint() error {
 	if s.cfg.SnapshotDir == "" {
 		return nil
@@ -218,31 +261,63 @@ func (s *Server) LoadCheckpoint() error {
 			errs = append(errs, fmt.Errorf("%s: manifest id %q does not match file name", path, m.ID))
 			continue
 		}
-		snap, err := readSnapshotFile(s.cfg.SnapshotDir, m.ID+".snap")
-		if err != nil && !errors.Is(err, os.ErrNotExist) {
-			s.logf("checkpoint %s: reading snapshot: %v (starting cold)", m.ID, err)
-		}
-		entry, err := s.register(&m.Request, m.ID, snap)
-		if err != nil && len(snap) > 0 {
-			// The registration itself may be fine and only the snapshot
-			// bad; a cold catalog beats a missing one.
-			s.logf("checkpoint %s: warm restore failed: %v (starting cold)", m.ID, err)
-			entry, err = s.register(&m.Request, m.ID, nil)
-		}
-		if err != nil {
+		// Validate the manifest's catalog once up front, so a snapshot is
+		// never blamed (and quarantined) for a registration that could not
+		// have succeeded cold either.
+		if _, err := buildCatalog(&m.Request); err != nil {
 			errs = append(errs, fmt.Errorf("checkpoint %s: %w", m.ID, err))
 			continue
+		}
+
+		var entry *catalogEntry
+		warmBytes := 0
+		for _, name := range []string{m.ID + ".snap", m.ID + ".snap.prev"} {
+			snap, err := readSnapshotFile(s.cfg.SnapshotDir, name)
+			if errors.Is(err, os.ErrNotExist) {
+				continue
+			}
+			if err != nil {
+				s.quarantineFile(name, err.Error())
+				continue
+			}
+			if entry, err = s.register(&m.Request, m.ID, snap); err != nil {
+				s.quarantineFile(name, err.Error())
+				continue
+			}
+			warmBytes = len(snap)
+			break
+		}
+		if entry == nil {
+			var err error
+			if entry, err = s.register(&m.Request, m.ID, nil); err != nil {
+				errs = append(errs, fmt.Errorf("checkpoint %s: %w", m.ID, err))
+				continue
+			}
+			s.logf("checkpoint %s: no snapshot generation verified, starting cold", m.ID)
 		}
 		if n, err := strconv.ParseUint(strings.TrimPrefix(entry.id, "c"), 10, 64); err == nil {
 			maxID = max(maxID, n)
 		}
 		s.logf("restored catalog %s (%q, %d tables, %d snapshot bytes)",
-			entry.id, entry.name, entry.tables, len(snap))
+			entry.id, entry.name, entry.tables, warmBytes)
 	}
 	s.mu.Lock()
 	s.nextID = max(s.nextID, maxID)
 	s.mu.Unlock()
 	return errors.Join(errs...)
+}
+
+// quarantineFile renames a damaged checkpoint file aside (name +
+// ".quarantined", replacing any previous quarantine of the same name)
+// and records the event for GET /stats. The rename keeps the corrupt
+// bytes for diagnosis while guaranteeing no later load can trust them
+// and no checkpoint silently overwrites the evidence.
+func (s *Server) quarantineFile(name, reason string) {
+	path := filepath.Join(s.cfg.SnapshotDir, name)
+	if err := os.Rename(path, path+".quarantined"); err != nil {
+		s.logf("quarantine of %s failed: %v", name, err)
+	}
+	s.recordQuarantine(name, reason)
 }
 
 // readSnapshotFile reads a bounded snapshot file from inside dir. name
@@ -265,15 +340,19 @@ func readSnapshotFile(dir, name string) ([]byte, error) {
 
 // writeFileAtomic writes data as dir/name via a temp file, fsync and
 // rename, so readers and crash recovery only ever observe complete
-// files.
+// files — unless a fault profile tears the rename, which is exactly
+// the corruption the CRC-verified load path exists to catch. Every
+// step is an injection site (checkpoint.tmp, .write, .sync, .rename);
+// on failure the temp file is removed so aborted checkpoints do not
+// accumulate.
 func writeFileAtomic(dir, name string, data []byte) error {
-	f, err := os.CreateTemp(dir, name+".tmp-*")
+	f, err := faultinject.CreateTemp("checkpoint.tmp", dir, name+".tmp-*")
 	if err != nil {
 		return err
 	}
 	tmp := f.Name()
-	_, werr := f.Write(data)
-	if serr := f.Sync(); werr == nil {
+	_, werr := faultinject.Write("checkpoint.write", f, data)
+	if serr := faultinject.Sync("checkpoint.sync", f); werr == nil {
 		werr = serr
 	}
 	if cerr := f.Close(); werr == nil {
@@ -283,7 +362,7 @@ func writeFileAtomic(dir, name string, data []byte) error {
 		_ = os.Remove(tmp)
 		return werr
 	}
-	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
+	if err := faultinject.Rename("checkpoint.rename", tmp, filepath.Join(dir, name)); err != nil {
 		_ = os.Remove(tmp)
 		return err
 	}

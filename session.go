@@ -22,6 +22,15 @@ import (
 // option to reuse the store as-is, or use a separate session.
 var ErrRetentionMismatch = errors.New("cache retention conflicts with the session store's retention")
 
+// ErrWorkerPanic reports that an optimizer worker panicked during a
+// run. The panic was contained at the worker boundary — the process,
+// the session, and its shared plan cache survive intact, and sibling
+// workers ran to completion — but the request that triggered it fails
+// with this error rather than returning a frontier a poisoned worker
+// may have contributed to. Use errors.As with *opt.PanicError to
+// recover the panic value and stack.
+var ErrWorkerPanic = errors.New("optimizer worker panicked")
+
 // Session binds a catalog and default options for repeated optimization
 // of queries against the same database. Sessions reuse cost-model state
 // across runs: the memoized cardinality estimates of earlier runs warm
@@ -108,6 +117,10 @@ type CacheStats struct {
 	Sets int
 	// Plans is the total number of retained sub-plans.
 	Plans int
+	// Bytes is the estimated retained memory of those frontiers. An
+	// estimate from the set and plan counts, not an accounting of every
+	// index structure; see cache.Shared.Bytes.
+	Bytes int64
 }
 
 // CacheStats reports the current size of the session's shared plan
@@ -121,8 +134,50 @@ func (s *Session) CacheStats() CacheStats {
 		sets, plans := sh.Stats()
 		cs.Sets += sets
 		cs.Plans += plans
+		cs.Bytes += sh.Bytes()
 	}
 	return cs
+}
+
+// CacheBytes reports the estimated retained memory of the session's
+// shared plan caches, summed over metric subsets.
+func (s *Session) CacheBytes() int64 { return s.CacheStats().Bytes }
+
+// EffectiveRetention returns the coarsest retention precision α any of
+// the session's shared caches currently admits under — the declared
+// retention, or a coarser value after TightenCache shed plans under
+// memory pressure. Zero when no run has enabled sharing.
+func (s *Session) EffectiveRetention() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var eff float64
+	for _, sh := range s.shared {
+		if a := sh.EffectiveRetention(); a > eff {
+			eff = a
+		}
+	}
+	return eff
+}
+
+// TightenCache re-prunes every shared cache of the session under the
+// coarser retention precision α and makes it the effective retention
+// for future admissions, reporting the number of plans dropped. It is
+// the graceful-degradation lever for memory pressure: by the anytime
+// contract the surviving cache is a valid coarser-α frontier set, so
+// warm starts stay correct, merely less detailed. The declared
+// retention (what runs assert against via WithCacheRetention) is
+// unchanged. α values ≤ 1 are a no-op.
+func (s *Session) TightenCache(alpha float64) (removed int) {
+	s.mu.Lock()
+	stores := make([]*cache.Shared, 0, len(s.shared))
+	for _, sh := range s.shared {
+		stores = append(stores, sh)
+	}
+	s.mu.Unlock()
+	for _, sh := range stores {
+		removed += sh.Shed(alpha)
+	}
+	return removed
 }
 
 // PoolStats describes the session's pool of warmed problem instances:
@@ -238,6 +293,10 @@ func (s *Session) Optimize(ctx context.Context, opts ...Option) (*Frontier, erro
 		Observe:       cfg.observer(),
 	})
 	if err != nil {
+		var perr *opt.PanicError
+		if errors.As(err, &perr) {
+			return nil, fmt.Errorf("rmq: %w: %w", ErrWorkerPanic, err)
+		}
 		return nil, fmt.Errorf("rmq: %w", err)
 	}
 	plans := append([]*Plan(nil), res.Plans...)

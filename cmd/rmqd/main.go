@@ -57,7 +57,8 @@ func main() {
 		snapshotDir    = flag.String("snapshot-dir", "", "directory for plan-cache checkpoints; restored at startup, written on a timer and at shutdown (empty = no persistence)")
 		snapshotEvery  = flag.Duration("snapshot-interval", time.Minute, "how often the background checkpointer persists plan caches to -snapshot-dir")
 		maxCacheBytes  = flag.Int64("max-cache-bytes", 0, "budget for the estimated memory of all plan caches; when exceeded the server tightens cache retention instead of growing (0 = unbounded)")
-		allowFetch     = flag.Bool("allow-snapshot-fetch", false, "allow registrations carrying snapshot_url to fetch their warm start from another rmqd (outbound requests to caller-supplied URLs)")
+		allowFetch     = flag.Bool("allow-snapshot-fetch", false, "allow registrations carrying snapshot_url or replicate_from to fetch warm state from another rmqd (outbound requests to caller-supplied URLs)")
+		replEvery      = flag.Duration("replicate-interval", time.Second, "how often catalogs registered with replicate_from pull cache deltas from their peers")
 		faults         = flag.String("faults", "", "fault-injection profile for chaos runs, e.g. 'server.optimize=panic@0.01;checkpoint.write=enospc@0.3' (also via RMQ_FAULTS)")
 		quiet          = flag.Bool("quiet", false, "suppress per-event logging")
 	)
@@ -84,6 +85,7 @@ func main() {
 		SnapshotDir:        *snapshotDir,
 		MaxCacheBytes:      *maxCacheBytes,
 		AllowSnapshotFetch: *allowFetch,
+		ReplicateInterval:  *replEvery,
 	}
 	if !*quiet {
 		cfg.Logf = logger.Printf
@@ -149,8 +151,10 @@ func main() {
 	case <-ctx.Done():
 	}
 
-	// Graceful shutdown: stop accepting, drain in-flight requests (each
-	// bounded by MaxTimeout anyway), then exit 0.
+	// Graceful shutdown: flip /readyz first so routers stop sending new
+	// work, then stop accepting, drain in-flight requests (each bounded
+	// by MaxTimeout anyway), then exit 0.
+	srv.StartDrain()
 	logger.Printf("signal received; draining for up to %v", *grace)
 	shCtx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
@@ -163,6 +167,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rmqd: %v\n", err)
 		os.Exit(1)
 	}
+	// Stop replication pullers before the final cut so no delta merge
+	// races the snapshot writer.
+	srv.Close()
 	// Final checkpoint after the drain: every admitted request has
 	// finished publishing into the caches, so this cut is what the next
 	// boot warm-starts from.

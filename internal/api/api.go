@@ -61,6 +61,13 @@ type CatalogRequest struct {
 	// warm fleet rollouts. Requires the server to allow outbound
 	// snapshot fetches. At most one of the three snapshot fields.
 	SnapshotURL string `json:"snapshot_url,omitempty"`
+	// ReplicateFrom lists peer catalog URLs (each the prefix of another
+	// rmqd's catalog, e.g. "http://node1:8080/catalogs/c7") this catalog
+	// continuously pulls cache deltas from. The catalog registers and
+	// serves even when every peer is down — replication is a warmth
+	// upgrade, not a registration dependency. Requires the server to
+	// allow outbound snapshot fetches.
+	ReplicateFrom []string `json:"replicate_from,omitempty"`
 }
 
 // CatalogInfo describes a registered catalog.
@@ -177,6 +184,30 @@ type StatsResponse struct {
 	Faults map[string]uint64 `json:"faults,omitempty"`
 }
 
+// ReplicationStats reports one catalog's delta-replication puller: how
+// the replica is tracking its primary.
+type ReplicationStats struct {
+	// Peers are the catalog URLs the puller rotates across.
+	Peers []string `json:"peers"`
+	// SourceInstance is the primary incarnation (hex) the cursors are
+	// valid against; empty before the first successful pull.
+	SourceInstance string `json:"source_instance,omitempty"`
+	// Pulls counts pull attempts; Admitted sums plans merged by them.
+	Pulls    uint64 `json:"pulls"`
+	Admitted uint64 `json:"admitted"`
+	// Resyncs counts full re-pulls forced by a 410 (primary restarted or
+	// changed identity under the cursors).
+	Resyncs uint64 `json:"resyncs,omitempty"`
+	// Failures counts pull attempts that failed after retries.
+	Failures  uint64 `json:"failures,omitempty"`
+	LastError string `json:"last_error,omitempty"`
+	// Attempted reports that the puller has completed at least one pull
+	// round (success or not) — the readiness gate. Warm reports at least
+	// one successful pull.
+	Attempted bool `json:"attempted"`
+	Warm      bool `json:"warm"`
+}
+
 // CatalogStats is one catalog's row in GET /stats.
 type CatalogStats struct {
 	CatalogInfo
@@ -186,6 +217,9 @@ type CatalogStats struct {
 	// EffectiveRetention is the cache's current retention precision:
 	// the registered α, or a coarser one after budget shedding.
 	EffectiveRetention float64 `json:"effective_retention,omitempty"`
+	// Replication is present for catalogs registered with
+	// replicate_from.
+	Replication *ReplicationStats `json:"replication,omitempty"`
 }
 
 // ErrorResponse is the JSON body of every non-2xx response.

@@ -133,6 +133,7 @@ func (s *Shared) ImportBucket(bs BucketSnapshot) error {
 	sb.b.plans = slices.Clone(bs.Plans)
 	sb.b.epochs = slices.Clone(bs.Epochs)
 	sb.b.epoch = bs.Epoch
+	sb.lastVer = s.repSeq.Add(1)
 	for _, p := range sb.b.plans {
 		sb.b.counts[p.Output]++
 		if sb.b.hasCorner {

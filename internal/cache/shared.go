@@ -60,6 +60,13 @@ type Shared struct {
 	// version counts publishes that changed the store; SyncState.Pull's
 	// fast path compares it against the last pulled value.
 	version atomic.Uint64
+	// repSeq is the replication watermark: every bucket change takes the
+	// next value and records it in the bucket's lastVer (under the bucket
+	// lock), so ExportDelta can ship only buckets changed since a remote
+	// puller's cursor. It is distinct from version — version's ordering
+	// contract (advanced strictly after the epoch mirror) belongs to
+	// SyncState.Pull and must not be reused as an export cursor.
+	repSeq atomic.Uint64
 	// iters counts optimizer iterations performed against the store, by
 	// every worker of every attached run. The α schedule of an attached
 	// optimizer is driven by this cumulative counter rather than the
@@ -84,7 +91,13 @@ type Shared struct {
 type sharedBucket struct {
 	mu    sync.Mutex //rmq:lock bucket 2
 	epoch atomic.Uint64
-	b     Bucket
+	// lastVer is the store's repSeq value at this bucket's most recent
+	// change, guarded by mu rather than atomic: ExportDelta must never
+	// observe a cursor ≥ some change's sequence while missing the change
+	// itself, and the bucket critical section gives that for free where a
+	// lock-free mirror would need seq_cst fences.
+	lastVer uint64
+	b       Bucket
 }
 
 // NewShared returns an empty shared store over the given shared-mode
@@ -211,6 +224,9 @@ func (st *SyncState) Publish(c *Cache) (published int) {
 		}
 		after := sb.b.epoch
 		grew := len(sb.b.plans) - n0
+		if after != before {
+			sb.lastVer = sh.repSeq.Add(1)
+		}
 		sb.epoch.Store(after)
 		sb.mu.Unlock()
 		if after == before {

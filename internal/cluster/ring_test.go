@@ -1,0 +1,65 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingPickNDistinctAndDeterministic(t *testing.T) {
+	nodes := []string{"http://a", "http://b", "http://c"}
+	r := NewRing(nodes, 0)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("r%d", i)
+		got := r.PickN(key, 2)
+		if len(got) != 2 || got[0] == got[1] {
+			t.Fatalf("PickN(%q, 2) = %v, want 2 distinct nodes", key, got)
+		}
+		if again := r.PickN(key, 2); got[0] != again[0] || got[1] != again[1] {
+			t.Fatalf("PickN(%q) unstable: %v then %v", key, got, again)
+		}
+	}
+	if got := r.PickN("r1", 10); len(got) != len(nodes) {
+		t.Fatalf("PickN over-asked = %v, want all %d nodes", got, len(nodes))
+	}
+	if got := r.PickN("r1", 0); got != nil {
+		t.Fatalf("PickN(_, 0) = %v, want nil", got)
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	nodes := []string{"http://a", "http://b", "http://c", "http://d", "http://e"}
+	r := NewRing(nodes, 0)
+	counts := make(map[string]int)
+	const keys = 10000
+	for i := 0; i < keys; i++ {
+		counts[r.PickN(fmt.Sprintf("r%d", i), 1)[0]]++
+	}
+	fair := keys / len(nodes)
+	for _, n := range nodes {
+		if c := counts[n]; c < fair/2 || c > fair*2 {
+			t.Errorf("node %s owns %d primaries, fair share %d: imbalanced", n, c, fair)
+		}
+	}
+}
+
+// Consistent hashing's point: growing the cluster only moves keys onto
+// the new node, never between old ones.
+func TestRingStabilityOnGrowth(t *testing.T) {
+	old := NewRing([]string{"http://a", "http://b", "http://c"}, 0)
+	grown := NewRing([]string{"http://a", "http://b", "http://c", "http://d"}, 0)
+	moved := 0
+	const keys = 2000
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("r%d", i)
+		was, now := old.PickN(key, 1)[0], grown.PickN(key, 1)[0]
+		if was != now {
+			moved++
+			if now != "http://d" {
+				t.Fatalf("key %q moved %s -> %s: growth may only move keys to the new node", key, was, now)
+			}
+		}
+	}
+	if moved == 0 || moved > keys/2 {
+		t.Fatalf("%d/%d keys moved on growth, want roughly 1/4", moved, keys)
+	}
+}

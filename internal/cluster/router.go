@@ -1,0 +1,700 @@
+package cluster
+
+// The routing tier. rmqrouter owns the cluster-level catalog
+// namespace: a registration hashes onto the ring, lands on a replica
+// set of Replication nodes (primary first), and the replicas register
+// with replicate_from pointing at the primary so cache deltas flow
+// continuously. Queries forward to the first ready replica and fail
+// over on transport errors and 5xx; 429 passes through untouched,
+// Retry-After included, because backpressure from a live node is an
+// answer, not a failure. A repair loop re-grows placements whose
+// ready-replica count fell below the replication factor — the node
+// that died stays listed (it may come back warm), but a spare ready
+// node is seeded from the survivors so the catalog is N-way replicated
+// again.
+//
+// Registration is deliberately optimistic: a placement that could only
+// reach one node still registers (degraded, logged, repairable) —
+// a cluster mid-incident must keep accepting work it can serve, and
+// the anytime contract makes a single cold replica a slower answer,
+// not a wrong one.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rmq/internal/api"
+	"rmq/internal/faultinject"
+)
+
+// Config parameterizes a Router.
+type Config struct {
+	// Nodes are the rmqd base URLs forming the cluster.
+	Nodes []string
+	// Replication is the replica count per catalog. Default 2, capped
+	// at the node count.
+	Replication int
+	// Health parameterizes the node prober.
+	Health HealthConfig
+	// RepairInterval is how often degraded placements are re-grown.
+	// Default 2s.
+	RepairInterval time.Duration
+	// Vnodes per node on the hash ring; 0 selects the default.
+	Vnodes int
+	// Logf, when non-nil, receives one line per notable event.
+	Logf func(format string, args ...any)
+}
+
+// Router is the HTTP handler of the routing tier. Create with
+// NewRouter, start background work with Start; safe for concurrent
+// use.
+type Router struct {
+	cfg    Config
+	rf     int
+	ring   *Ring
+	prober *Prober
+	mux    *http.ServeMux
+	// httpc carries forwarded requests and registration fan-out through
+	// the injectable transport (site router.forward). No client timeout:
+	// forwarded optimizations are bounded by their own deadlines and the
+	// caller's context.
+	httpc *http.Client
+
+	forwards    atomic.Uint64
+	failovers   atomic.Uint64
+	routeErrors atomic.Uint64
+	repairs     atomic.Uint64
+
+	mu         sync.Mutex
+	placements map[string]*placement
+	nextID     uint64
+}
+
+// placement is one cluster-level catalog: its sanitized spec and the
+// replicas holding it.
+type placement struct {
+	id   string
+	name string
+	spec api.CatalogRequest
+
+	mu       sync.Mutex
+	replicas []replicaRef // [0] is the original primary
+}
+
+type replicaRef struct {
+	node    string // node base URL
+	localID string // the catalog id on that node
+}
+
+// RouterStats is the router's GET /stats payload.
+type RouterStats struct {
+	Nodes      []NodeStatus      `json:"nodes"`
+	Placements []PlacementStatus `json:"placements"`
+	// Forwards counts routed requests; Failovers how many replica
+	// attempts failed and moved on; RouteErrors requests that exhausted
+	// every replica; Repairs replicas re-grown by the repair loop.
+	Forwards    uint64 `json:"forwards"`
+	Failovers   uint64 `json:"failovers"`
+	RouteErrors uint64 `json:"route_errors,omitempty"`
+	Repairs     uint64 `json:"repairs,omitempty"`
+	// Degraded counts placements with fewer ready replicas than the
+	// replication factor.
+	Degraded int `json:"degraded"`
+}
+
+// PlacementStatus is one catalog's placement row in /stats.
+type PlacementStatus struct {
+	ID       string          `json:"id"`
+	Name     string          `json:"name,omitempty"`
+	Replicas []ReplicaStatus `json:"replicas"`
+	Degraded bool            `json:"degraded"`
+}
+
+// ReplicaStatus is one replica of a placement.
+type ReplicaStatus struct {
+	Node    string `json:"node"`
+	LocalID string `json:"local_id"`
+	Ready   bool   `json:"ready"`
+}
+
+// NewRouter builds the routing tier over a fixed node set.
+func NewRouter(cfg Config) (*Router, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("cluster: no nodes configured")
+	}
+	rf := cfg.Replication
+	if rf <= 0 {
+		rf = 2
+	}
+	rf = min(rf, len(cfg.Nodes))
+	if cfg.RepairInterval <= 0 {
+		cfg.RepairInterval = 2 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	rt := &Router{
+		cfg:    cfg,
+		rf:     rf,
+		ring:   NewRing(cfg.Nodes, cfg.Vnodes),
+		prober: NewProber(cfg.Nodes, cfg.Health, cfg.Logf),
+		mux:    http.NewServeMux(),
+		httpc: &http.Client{
+			Transport: faultinject.Transport("router.forward", nil),
+		},
+		placements: make(map[string]*placement),
+	}
+	rt.mux.HandleFunc("POST /catalogs", rt.handleRegister)
+	rt.mux.HandleFunc("GET /catalogs", rt.handleList)
+	rt.mux.HandleFunc("DELETE /catalogs/{id}", rt.handleDelete)
+	rt.mux.HandleFunc("GET /catalogs/{id}/snapshot", rt.handleSnapshot)
+	rt.mux.HandleFunc("POST /optimize", rt.handleOptimize)
+	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	rt.mux.HandleFunc("GET /readyz", rt.handleReadyz)
+	rt.mux.HandleFunc("GET /stats", rt.handleStats)
+	return rt, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rt.mux.ServeHTTP(w, r)
+}
+
+// Start launches the health prober and the repair loop; they stop when
+// ctx ends. The first probe round completes before Start returns, so a
+// freshly started router already knows which nodes are ready.
+func (rt *Router) Start(ctx context.Context) {
+	rt.prober.ProbeOnce(ctx)
+	go rt.prober.Run(ctx)
+	go rt.repairLoop(ctx)
+}
+
+// ProbeNow runs one synchronous probe round — deterministic health
+// refresh for tests and for Start.
+func (rt *Router) ProbeNow(ctx context.Context) {
+	rt.prober.ProbeOnce(ctx)
+}
+
+// --- registration ---
+
+func (rt *Router) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req api.CatalogRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad catalog request: %v", err)
+		return
+	}
+	if len(req.ReplicateFrom) > 0 {
+		writeError(w, http.StatusBadRequest, "replicate_from is owned by the router; register plain catalogs")
+		return
+	}
+	rt.mu.Lock()
+	rt.nextID++
+	id := "r" + strconv.FormatUint(rt.nextID, 10)
+	rt.mu.Unlock()
+
+	want := rt.ring.PickN(id, rt.rf)
+	candidates := rt.readyFirst(want)
+
+	// Primary: the first candidate that accepts the registration. The
+	// primary may carry the caller's one-shot snapshot warm start;
+	// replicas get their warmth from replication instead.
+	var primary replicaRef
+	var primaryInfo api.CatalogInfo
+	var lastErr error
+	for _, node := range candidates {
+		info, err := rt.registerOn(r.Context(), node, req)
+		if err != nil {
+			lastErr = err
+			rt.cfg.Logf("register %s: primary candidate %s refused: %v", id, node, err)
+			continue
+		}
+		primary = replicaRef{node: node, localID: info.ID}
+		primaryInfo = info
+		break
+	}
+	if primary.node == "" {
+		rt.routeErrors.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "no node accepted the registration: %v", lastErr)
+		return
+	}
+
+	p := &placement{id: id, name: req.Name, spec: sanitizeSpec(req), replicas: []replicaRef{primary}}
+	// Replicas: same spec, cold, continuously pulling from the primary.
+	// A refused or unreachable replica degrades the placement instead
+	// of failing the registration; the repair loop re-grows it.
+	replicaReq := p.spec
+	replicaReq.ReplicateFrom = []string{catalogURL(primary)}
+	for _, node := range want {
+		if len(p.replicas) >= rt.rf {
+			break
+		}
+		if node == primary.node {
+			continue
+		}
+		if !rt.prober.Ready(node) {
+			rt.cfg.Logf("register %s: replica node %s not ready, placement degraded", id, node)
+			continue
+		}
+		info, err := rt.registerOn(r.Context(), node, replicaReq)
+		if err != nil {
+			rt.cfg.Logf("register %s: replica on %s failed: %v", id, node, err)
+			continue
+		}
+		p.replicas = append(p.replicas, replicaRef{node: node, localID: info.ID})
+	}
+	rt.mu.Lock()
+	rt.placements[id] = p
+	rt.mu.Unlock()
+	rt.cfg.Logf("registered catalog %s (%q) on %d/%d replicas, primary %s",
+		id, req.Name, len(p.replicas), rt.rf, primary.node)
+
+	info := primaryInfo
+	info.ID = id
+	writeJSON(w, http.StatusCreated, info)
+}
+
+// sanitizeSpec strips one-shot warm-start fields from the spec kept
+// for replica and repair registrations: replicas warm through
+// replication, and a stale snapshot would race it for nothing.
+func sanitizeSpec(req api.CatalogRequest) api.CatalogRequest {
+	req.Snapshot = nil
+	req.SnapshotPath = ""
+	req.SnapshotURL = ""
+	req.ReplicateFrom = nil
+	return req
+}
+
+// catalogURL is the peer-visible URL of a replica's catalog.
+func catalogURL(ref replicaRef) string {
+	return ref.node + "/catalogs/" + ref.localID
+}
+
+// registerOn registers a catalog on one node.
+func (rt *Router) registerOn(ctx context.Context, node string, req api.CatalogRequest) (api.CatalogInfo, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return api.CatalogInfo{}, err
+	}
+	resp, err := rt.post(ctx, node+"/catalogs", body)
+	if err != nil {
+		return api.CatalogInfo{}, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return api.CatalogInfo{}, err
+	}
+	if resp.StatusCode != http.StatusCreated {
+		return api.CatalogInfo{}, fmt.Errorf("%s answered %d: %s", node, resp.StatusCode, errorMessage(data))
+	}
+	var info api.CatalogInfo
+	if err := json.Unmarshal(data, &info); err != nil {
+		return api.CatalogInfo{}, err
+	}
+	return info, nil
+}
+
+func (rt *Router) post(ctx context.Context, url string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return rt.httpc.Do(req)
+}
+
+// readyFirst orders nodes with the ready ones in front, preserving
+// relative (ring) order within each group, so the primary lands on a
+// node that can serve now whenever one exists.
+func (rt *Router) readyFirst(nodes []string) []string {
+	out := make([]string, 0, len(nodes))
+	for _, n := range nodes {
+		if rt.prober.Ready(n) {
+			out = append(out, n)
+		}
+	}
+	for _, n := range nodes {
+		if !rt.prober.Ready(n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// --- forwarding ---
+
+func (rt *Router) placement(id string) *placement {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.placements[id]
+}
+
+// candidates orders a placement's replicas for a request: ready nodes
+// first (primary first among them), then the rest as a last resort —
+// hysteresis can lag a recovery, and a request with no better option
+// should try rather than fail.
+func (p *placement) candidates(prober *Prober) []replicaRef {
+	p.mu.Lock()
+	refs := append([]replicaRef(nil), p.replicas...)
+	p.mu.Unlock()
+	out := make([]replicaRef, 0, len(refs))
+	for _, ref := range refs {
+		if prober.Ready(ref.node) {
+			out = append(out, ref)
+		}
+	}
+	for _, ref := range refs {
+		if !prober.Ready(ref.node) {
+			out = append(out, ref)
+		}
+	}
+	return out
+}
+
+// dropReplica removes a replica that provably no longer holds the
+// catalog (the node answered 404: a restart lost its registration).
+// The repair loop re-grows the placement.
+func (rt *Router) dropReplica(p *placement, ref replicaRef) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, r := range p.replicas {
+		if r == ref {
+			p.replicas = append(p.replicas[:i], p.replicas[i+1:]...)
+			rt.cfg.Logf("placement %s: replica %s dropped (catalog gone)", p.id, ref.node)
+			return
+		}
+	}
+}
+
+func (rt *Router) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	var req api.OptimizeRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad optimize request: %v", err)
+		return
+	}
+	p := rt.placement(req.Catalog)
+	if p == nil {
+		writeError(w, http.StatusNotFound, "unknown catalog %q", req.Catalog)
+		return
+	}
+	rt.forwards.Add(1)
+	var lastErr error
+	for _, ref := range p.candidates(rt.prober) {
+		req.Catalog = ref.localID
+		body, err := json.Marshal(&req)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		resp, err := rt.post(r.Context(), ref.node+"/optimize", body)
+		if err != nil {
+			if r.Context().Err() != nil {
+				return // caller gone; nothing to answer
+			}
+			lastErr = err
+			rt.failovers.Add(1)
+			continue
+		}
+		switch {
+		case resp.StatusCode == http.StatusNotFound:
+			// The node is alive but no longer holds the catalog: a
+			// restart without persistence. Not a client error — drop the
+			// replica and fail over.
+			drainClose(resp)
+			rt.dropReplica(p, ref)
+			lastErr = fmt.Errorf("%s lost the catalog", ref.node)
+			rt.failovers.Add(1)
+			continue
+		case resp.StatusCode >= 500:
+			data, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+			resp.Body.Close()
+			lastErr = fmt.Errorf("%s answered %d: %s", ref.node, resp.StatusCode, errorMessage(data))
+			rt.failovers.Add(1)
+			continue
+		}
+		// 2xx, 429 (Retry-After intact) and client errors pass through.
+		copyResponse(w, resp)
+		return
+	}
+	rt.routeErrors.Add(1)
+	writeError(w, http.StatusServiceUnavailable, "no replica of %q reachable: %v", p.id, lastErr)
+}
+
+// handleSnapshot forwards a snapshot fetch to the first replica that
+// can serve it.
+func (rt *Router) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	p := rt.placement(id)
+	if p == nil {
+		writeError(w, http.StatusNotFound, "unknown catalog %q", id)
+		return
+	}
+	for _, ref := range p.candidates(rt.prober) {
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, catalogURL(ref)+"/snapshot", nil)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		resp, err := rt.httpc.Do(req)
+		if err != nil {
+			rt.failovers.Add(1)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			drainClose(resp)
+			rt.failovers.Add(1)
+			continue
+		}
+		copyResponse(w, resp)
+		return
+	}
+	rt.routeErrors.Add(1)
+	writeError(w, http.StatusServiceUnavailable, "no replica of %q reachable", id)
+}
+
+func (rt *Router) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rt.mu.Lock()
+	p := rt.placements[id]
+	delete(rt.placements, id)
+	rt.mu.Unlock()
+	if p == nil {
+		writeError(w, http.StatusNotFound, "unknown catalog %q", id)
+		return
+	}
+	// Best effort on every replica: a down node cannot resurrect the
+	// catalog later (nodes do not gossip), so a failed delete only
+	// leaks a local session until that node restarts.
+	p.mu.Lock()
+	refs := append([]replicaRef(nil), p.replicas...)
+	p.mu.Unlock()
+	for _, ref := range refs {
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodDelete, catalogURL(ref), nil)
+		if err != nil {
+			continue
+		}
+		if resp, err := rt.httpc.Do(req); err == nil {
+			drainClose(resp)
+		}
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (rt *Router) handleList(w http.ResponseWriter, r *http.Request) {
+	rt.mu.Lock()
+	ps := make([]*placement, 0, len(rt.placements))
+	for _, p := range rt.placements {
+		ps = append(ps, p)
+	}
+	rt.mu.Unlock()
+	out := make([]api.CatalogInfo, 0, len(ps))
+	for _, p := range ps {
+		out = append(out, api.CatalogInfo{ID: p.id, Name: p.name})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// --- repair ---
+
+func (rt *Router) repairLoop(ctx context.Context) {
+	t := time.NewTicker(rt.cfg.RepairInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			rt.RepairOnce(ctx)
+		}
+	}
+}
+
+// RepairOnce re-grows every placement whose ready-replica count fell
+// below the replication factor, seeding new replicas from the
+// surviving ones. Exported for deterministic tests; the repair loop
+// calls it on a timer.
+func (rt *Router) RepairOnce(ctx context.Context) {
+	rt.mu.Lock()
+	ps := make([]*placement, 0, len(rt.placements))
+	for _, p := range rt.placements {
+		ps = append(ps, p)
+	}
+	rt.mu.Unlock()
+	for _, p := range ps {
+		if ctx.Err() != nil {
+			return
+		}
+		rt.repairPlacement(ctx, p)
+	}
+}
+
+func (rt *Router) repairPlacement(ctx context.Context, p *placement) {
+	p.mu.Lock()
+	member := make(map[string]bool, len(p.replicas))
+	ready := 0
+	sources := make([]string, 0, len(p.replicas))
+	for _, ref := range p.replicas {
+		member[ref.node] = true
+		if rt.prober.Ready(ref.node) {
+			ready++
+			sources = append(sources, catalogURL(ref))
+		}
+	}
+	p.mu.Unlock()
+	if ready >= rt.rf || len(sources) == 0 {
+		// Either healthy, or nothing alive to seed a new replica from —
+		// if the whole placement is down there is no state to copy and
+		// nothing useful to register.
+		return
+	}
+	req := p.spec
+	req.ReplicateFrom = sources
+	for _, node := range rt.ring.PickN(p.id, len(rt.cfg.Nodes)) {
+		if ready >= rt.rf {
+			return
+		}
+		if member[node] || !rt.prober.Ready(node) {
+			continue
+		}
+		info, err := rt.registerOn(ctx, node, req)
+		if err != nil {
+			rt.cfg.Logf("repair %s: node %s refused: %v", p.id, node, err)
+			continue
+		}
+		p.mu.Lock()
+		p.replicas = append(p.replicas, replicaRef{node: node, localID: info.ID})
+		p.mu.Unlock()
+		ready++
+		rt.repairs.Add(1)
+		rt.cfg.Logf("repair %s: new replica on %s (seeded from %d survivors)", p.id, node, len(sources))
+	}
+}
+
+// --- health and stats ---
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+}
+
+// handleReadyz: the router can do useful work once it has probed the
+// cluster at least once and some node is ready to take traffic.
+func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if rt.prober.Rounds() == 0 {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "unready", "reasons": []string{"no probe round completed"},
+		})
+		return
+	}
+	for _, node := range rt.cfg.Nodes {
+		if rt.prober.Ready(node) {
+			writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+			return
+		}
+	}
+	writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+		"status": "unready", "reasons": []string{"no backend node is ready"},
+	})
+}
+
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	rt.mu.Lock()
+	ps := make([]*placement, 0, len(rt.placements))
+	for _, p := range rt.placements {
+		ps = append(ps, p)
+	}
+	rt.mu.Unlock()
+	stats := RouterStats{
+		Nodes:       rt.prober.Status(),
+		Placements:  make([]PlacementStatus, 0, len(ps)),
+		Forwards:    rt.forwards.Load(),
+		Failovers:   rt.failovers.Load(),
+		RouteErrors: rt.routeErrors.Load(),
+		Repairs:     rt.repairs.Load(),
+	}
+	for _, p := range ps {
+		p.mu.Lock()
+		row := PlacementStatus{ID: p.id, Name: p.name, Replicas: make([]ReplicaStatus, 0, len(p.replicas))}
+		ready := 0
+		for _, ref := range p.replicas {
+			up := rt.prober.Ready(ref.node)
+			if up {
+				ready++
+			}
+			row.Replicas = append(row.Replicas, ReplicaStatus{Node: ref.node, LocalID: ref.localID, Ready: up})
+		}
+		p.mu.Unlock()
+		row.Degraded = ready < rt.rf
+		if row.Degraded {
+			stats.Degraded++
+		}
+		stats.Placements = append(stats.Placements, row)
+	}
+	writeJSON(w, http.StatusOK, stats)
+}
+
+// --- small helpers ---
+
+// copyResponse streams a backend response through: status, the headers
+// that matter (Content-Type, Retry-After, Content-Length), then the
+// body with per-chunk flushes so SSE progress events pass through
+// unbuffered.
+func copyResponse(w http.ResponseWriter, resp *http.Response) {
+	defer resp.Body.Close()
+	for _, h := range []string{"Content-Type", "Retry-After", "Content-Length", "Cache-Control"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	fw := io.Writer(w)
+	if fl, ok := w.(http.Flusher); ok {
+		fw = flushWriter{w: w, fl: fl}
+	}
+	_, _ = io.Copy(fw, resp.Body)
+}
+
+type flushWriter struct {
+	w  io.Writer
+	fl http.Flusher
+}
+
+func (f flushWriter) Write(p []byte) (int, error) {
+	n, err := f.w.Write(p)
+	f.fl.Flush()
+	return n, err
+}
+
+func drainClose(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 64<<10))
+	resp.Body.Close()
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, api.ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func errorMessage(data []byte) string {
+	var er api.ErrorResponse
+	if err := json.Unmarshal(data, &er); err == nil && er.Error != "" {
+		return er.Error
+	}
+	return string(data)
+}

@@ -14,7 +14,8 @@
 //	entry   := 'seed=' uint | site '=' kind [':' arg] ['@' rate] ['#' count]
 //	site    := dotted lowercase name ("server.optimize", "checkpoint.write")
 //	kind    := 'error' | 'panic' | 'latency' | 'enospc' | 'partial' | 'torn'
-//	arg     := duration (latency only, e.g. "latency:50ms")
+//	         | 'conn-refused' | 'partition' | 'slow-peer'
+//	arg     := duration (latency and slow-peer, e.g. "latency:50ms")
 //	rate    := float in (0, 1], probability per call (default 1: every call)
 //	count   := uint, maximum number of fires (default unlimited)
 //
@@ -24,6 +25,9 @@
 //	checkpoint.write=enospc@0.3             ENOSPC on 30% of checkpoint writes
 //	checkpoint.rename=torn#1                tear exactly one rename, then behave
 //	opt.worker.step=latency:5ms@0.001       stall 0.1% of optimizer steps
+//	replica.pull=partition@0.2#10           drop 20% of replication pulls
+//	router.forward=conn-refused#3           refuse three forwarded requests
+//	replica.pull=slow-peer:100ms@0.5        congest half the pulls
 //	seed=7                                  seed of the firing pattern
 //
 // Profiles activate via the RMQ_FAULTS environment variable (read by
@@ -78,6 +82,16 @@ const (
 	// truncated copy of the source and the call reports success — the
 	// silent corruption of a non-atomic filesystem dying mid-rename.
 	KindTorn
+	// KindConnRefused models a dead peer: network sites fail immediately
+	// with a dial error unwrapping to syscall.ECONNREFUSED.
+	KindConnRefused
+	// KindPartition models a broken network path: network sites fail
+	// with a timeout-flavored i/o error (the request neither reaches the
+	// peer nor returns).
+	KindPartition
+	// KindSlowPeer models a congested peer: network sites stall for the
+	// configured duration, then proceed.
+	KindSlowPeer
 )
 
 // String returns the grammar name of the kind.
@@ -95,6 +109,12 @@ func (k Kind) String() string {
 		return "partial"
 	case KindTorn:
 		return "torn"
+	case KindConnRefused:
+		return "conn-refused"
+	case KindPartition:
+		return "partition"
+	case KindSlowPeer:
+		return "slow-peer"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -113,13 +133,23 @@ func (e *Error) Error() string {
 	return "faultinject: injected " + e.Kind.String() + " at " + e.Site
 }
 
-// Unwrap exposes the ENOSPC cause of disk-space faults.
+// Unwrap exposes the ENOSPC cause of disk-space faults and the
+// ECONNREFUSED cause of dead-peer faults.
 func (e *Error) Unwrap() error {
-	if e.Kind == KindENOSPC || e.Kind == KindPartial {
+	switch e.Kind {
+	case KindENOSPC, KindPartial:
 		return syscall.ENOSPC
+	case KindConnRefused:
+		return syscall.ECONNREFUSED
+	default:
+		return nil
 	}
-	return nil
 }
+
+// Timeout reports whether the fault models an i/o timeout. It makes a
+// partition fault wrapped in a *net.OpError satisfy net.Error.Timeout,
+// exactly like a real stalled connection.
+func (e *Error) Timeout() bool { return e.Kind == KindPartition }
 
 // IsInjected reports whether err is (or wraps) an injected fault.
 func IsInjected(err error) bool {
@@ -196,7 +226,7 @@ func Check(name string) error {
 	switch s.kind {
 	case KindPanic:
 		panic(s.err)
-	case KindLatency:
+	case KindLatency, KindSlowPeer:
 		time.Sleep(s.latency)
 		return nil
 	case KindTorn:
@@ -373,17 +403,24 @@ func parseSite(entry string, seed uint64) (*site, error) {
 		s.kind = KindPartial
 	case "torn":
 		s.kind = KindTorn
-	case "latency":
+	case "conn-refused":
+		s.kind = KindConnRefused
+	case "partition":
+		s.kind = KindPartition
+	case "latency", "slow-peer":
 		s.kind = KindLatency
+		if kindName == "slow-peer" {
+			s.kind = KindSlowPeer
+		}
 		d, err := time.ParseDuration(arg)
 		if err != nil || d < 0 {
-			return nil, fmt.Errorf("faultinject: %s: latency needs a duration argument (got %q)", name, arg)
+			return nil, fmt.Errorf("faultinject: %s: %s needs a duration argument (got %q)", name, kindName, arg)
 		}
 		s.latency = d
 	default:
 		return nil, fmt.Errorf("faultinject: %s: unknown kind %q", name, kindName)
 	}
-	if s.kind != KindLatency && arg != "" {
+	if s.kind != KindLatency && s.kind != KindSlowPeer && arg != "" {
 		return nil, fmt.Errorf("faultinject: %s: kind %s takes no argument (got %q)", name, kindName, arg)
 	}
 	s.err = &Error{Site: name, Kind: s.kind}

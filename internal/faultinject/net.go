@@ -1,0 +1,76 @@
+package faultinject
+
+// Network wrapper with injection sites. Everything that talks to a peer
+// over HTTP — the replication puller, the router's forwarder, the
+// retrying client in chaos tests — can route its requests through
+// Transport, so a fault profile can kill a peer (conn-refused), break
+// the path (partition) or congest it (slow-peer) without touching real
+// sockets, and with the same per-site deterministic streams as every
+// other site.
+//
+// Kind semantics at network sites:
+//
+//   - conn-refused: the request fails immediately with a *net.OpError
+//     (Op "dial") unwrapping to syscall.ECONNREFUSED — indistinguishable
+//     from a dead peer, so dial-failure retry/failover paths engage.
+//   - partition: the request fails with a timeout-flavored *net.OpError
+//     (Op "read", net.Error.Timeout() == true) — the broken-path shape
+//     of a stalled connection, without the wall-clock stall.
+//   - slow-peer, latency: the request proceeds after the configured
+//     sleep.
+//   - error, panic and the rest keep their plain Check semantics.
+//
+// All failures still unwrap to *Error, so IsInjected distinguishes
+// injected chaos from real network trouble.
+
+import (
+	"net"
+	"net/http"
+	"time"
+)
+
+// Transport wraps base (nil: http.DefaultTransport) with the named
+// injection site. When the site does not fire — and always, when no
+// profile is active — requests pass straight through.
+func Transport(siteName string, base http.RoundTripper) http.RoundTripper {
+	return &transport{site: siteName, base: base}
+}
+
+type transport struct {
+	site string
+	base http.RoundTripper
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if s := lookup(t.site); s != nil && s.fire() {
+		switch s.kind {
+		case KindConnRefused:
+			closeBody(req)
+			return nil, &net.OpError{Op: "dial", Net: "tcp", Err: s.err}
+		case KindPartition:
+			closeBody(req)
+			return nil, &net.OpError{Op: "read", Net: "tcp", Err: s.err}
+		case KindSlowPeer, KindLatency:
+			time.Sleep(s.latency)
+		case KindPanic:
+			panic(s.err)
+		default:
+			closeBody(req)
+			return nil, s.err
+		}
+	}
+	base := t.base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return base.RoundTrip(req)
+}
+
+// closeBody honors the RoundTripper contract: the body must be closed
+// even when the request never reaches the wire.
+func closeBody(req *http.Request) {
+	if req.Body != nil {
+		req.Body.Close()
+	}
+}

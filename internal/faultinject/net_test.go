@@ -1,0 +1,170 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestParseNetworkKinds extends the grammar tests with the network
+// fault kinds.
+func TestParseNetworkKinds(t *testing.T) {
+	cases := []struct {
+		spec string
+		ok   bool
+	}{
+		{"peer=conn-refused", true},
+		{"peer=partition@0.2#10", true},
+		{"peer=slow-peer:100ms@0.5", true},
+		{"a=conn-refused;b=partition;c=slow-peer:1ms;seed=9", true},
+		{"peer=slow-peer", false},       // slow-peer needs a duration
+		{"peer=conn-refused:1s", false}, // conn-refused takes no argument
+		{"peer=partition:1s", false},    // partition takes no argument
+	}
+	for _, c := range cases {
+		_, err := Parse(c.spec)
+		if (err == nil) != c.ok {
+			t.Errorf("Parse(%q): err = %v, want ok = %v", c.spec, err, c.ok)
+		}
+	}
+}
+
+// TestCheckNetworkKinds pins plain-Check semantics: conn-refused and
+// partition fail (with the right unwrap targets), slow-peer stalls and
+// succeeds.
+func TestCheckNetworkKinds(t *testing.T) {
+	arm(t, "cr=conn-refused;pt=partition;sp=slow-peer:1ms")
+	if err := Check("cr"); !errors.Is(err, syscall.ECONNREFUSED) || !IsInjected(err) {
+		t.Fatalf("conn-refused site: %v", err)
+	}
+	err := Check("pt")
+	if err == nil || !IsInjected(err) {
+		t.Fatalf("partition site: %v", err)
+	}
+	var fe *Error
+	if !errors.As(err, &fe) || !fe.Timeout() {
+		t.Fatalf("partition fault does not report Timeout: %v", err)
+	}
+	start := time.Now()
+	if err := Check("sp"); err != nil {
+		t.Fatalf("slow-peer site returned %v", err)
+	}
+	if time.Since(start) < time.Millisecond {
+		t.Fatal("slow-peer site did not stall")
+	}
+}
+
+// TestTransportFaults drives an http.Client through the injectable
+// transport against a live test server and pins each network kind's
+// wire shape.
+func TestTransportFaults(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+
+	get := func(site string) (*http.Response, error) {
+		c := &http.Client{Transport: Transport(site, nil)}
+		return c.Get(srv.URL)
+	}
+
+	t.Run("pass-through when disabled", func(t *testing.T) {
+		Disable()
+		resp, err := get("net.peer")
+		if err != nil || resp.StatusCode != 200 {
+			t.Fatalf("disabled transport: %v %v", resp, err)
+		}
+		resp.Body.Close()
+	})
+
+	t.Run("conn-refused is a dial error", func(t *testing.T) {
+		arm(t, "net.peer=conn-refused")
+		_, err := get("net.peer")
+		if err == nil {
+			t.Fatal("conn-refused fault did not fail the request")
+		}
+		var oe *net.OpError
+		if !errors.As(err, &oe) || oe.Op != "dial" {
+			t.Fatalf("want *net.OpError with Op dial, got %v", err)
+		}
+		if !errors.Is(err, syscall.ECONNREFUSED) || !IsInjected(err) {
+			t.Fatalf("conn-refused unwrap: %v", err)
+		}
+	})
+
+	t.Run("partition is a timeout error", func(t *testing.T) {
+		arm(t, "net.peer=partition")
+		_, err := get("net.peer")
+		var ne net.Error
+		if !errors.As(err, &ne) || !ne.Timeout() {
+			t.Fatalf("want a timeout net.Error, got %v", err)
+		}
+		if !IsInjected(err) {
+			t.Fatalf("partition not marked injected: %v", err)
+		}
+	})
+
+	t.Run("slow-peer stalls then succeeds", func(t *testing.T) {
+		arm(t, "net.peer=slow-peer:30ms")
+		start := time.Now()
+		resp, err := get("net.peer")
+		if err != nil || resp.StatusCode != 200 {
+			t.Fatalf("slow-peer request: %v %v", resp, err)
+		}
+		resp.Body.Close()
+		if time.Since(start) < 30*time.Millisecond {
+			t.Fatal("slow-peer did not stall the request")
+		}
+	})
+
+	t.Run("rate and count ride the per-site stream", func(t *testing.T) {
+		arm(t, "net.peer=conn-refused#2")
+		failures := 0
+		for i := 0; i < 6; i++ {
+			resp, err := get("net.peer")
+			if err != nil {
+				failures++
+				continue
+			}
+			resp.Body.Close()
+		}
+		if failures != 2 {
+			t.Fatalf("count-limited transport failed %d requests, want 2", failures)
+		}
+	})
+}
+
+// TestTransportDeterministicPattern pins that a rated network site
+// fires the same request pattern for the same profile seed — the
+// seed-reproducibility cluster chaos relies on.
+func TestTransportDeterministicPattern(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+	pattern := func(seed string) string {
+		arm(t, "net.peer=partition@0.3;seed="+seed)
+		c := &http.Client{Transport: Transport("net.peer", nil)}
+		var b strings.Builder
+		for i := 0; i < 100; i++ {
+			resp, err := c.Get(srv.URL)
+			if err != nil {
+				b.WriteByte('x')
+				continue
+			}
+			resp.Body.Close()
+			b.WriteByte('.')
+		}
+		return b.String()
+	}
+	if pattern("5") != pattern("5") {
+		t.Fatal("same seed produced different network fault patterns")
+	}
+	if pattern("5") == pattern("6") {
+		t.Fatal("different seeds produced identical network fault patterns")
+	}
+}

@@ -83,10 +83,14 @@ type Config struct {
 	// growing until the OOM killer picks a victim. 0 means unbounded.
 	MaxCacheBytes int64
 	// AllowSnapshotFetch permits registrations carrying snapshot_url to
-	// fetch their warm-start stream from another rmqd. Off by default:
-	// it makes the server issue outbound requests to a caller-supplied
-	// URL, which an operator must opt into.
+	// fetch their warm-start stream from another rmqd, and registrations
+	// carrying replicate_from to continuously pull cache deltas from
+	// peers. Off by default: both make the server issue outbound
+	// requests to caller-supplied URLs, which an operator must opt into.
 	AllowSnapshotFetch bool
+	// ReplicateInterval is how often a replicated catalog's puller asks
+	// its peer for new deltas. Default 1s.
+	ReplicateInterval time.Duration
 	// Logf, when non-nil, receives one line per notable event
 	// (registrations, rejections). The hot path never logs.
 	Logf func(format string, args ...any)
@@ -105,6 +109,13 @@ type Server struct {
 	mux   *http.ServeMux
 	sem   chan struct{} // admission semaphore; len(sem) is the in-flight gauge
 	start time.Time
+
+	// baseCtx parents every catalog's replication puller; Close cancels
+	// it. draining and replaying feed /readyz.
+	baseCtx   context.Context
+	cancelAll context.CancelFunc
+	draining  atomic.Bool
+	replaying atomic.Bool
 
 	served   atomic.Uint64
 	rejected atomic.Uint64
@@ -143,6 +154,15 @@ type catalogEntry struct {
 	retention float64
 	sess      *rmq.Session
 	requests  atomic.Uint64
+	// instance is the catalog's incarnation id: random at registration,
+	// stamped into every delta stream it serves. Replication cursors are
+	// only meaningful against one instance, so a restart (new random id)
+	// forces pullers into a clean full resync instead of letting stale
+	// cursors silently skip history.
+	instance uint64
+	// repl is the background delta puller for catalogs registered with
+	// replicate_from; nil otherwise.
+	repl *replicator
 	// spec is the sanitized registration request (snapshot fields
 	// stripped): everything needed to rebuild the catalog and session
 	// after a restart. Checkpoint persists it as the catalog's manifest.
@@ -171,13 +191,16 @@ func New(cfg Config) *Server {
 		start:    time.Now(),
 		catalogs: make(map[string]*catalogEntry),
 	}
+	s.baseCtx, s.cancelAll = context.WithCancel(context.Background())
 	s.mux.HandleFunc("POST /catalogs", s.handleRegisterCatalog)
 	s.mux.HandleFunc("GET /catalogs", s.handleListCatalogs)
 	s.mux.HandleFunc("DELETE /catalogs/{id}", s.handleDeleteCatalog)
 	s.mux.HandleFunc("GET /catalogs/{id}/snapshot", s.handleGetSnapshot)
 	s.mux.HandleFunc("POST /catalogs/{id}/snapshot", s.handleCheckpointCatalog)
+	s.mux.HandleFunc("GET /catalogs/{id}/deltas", s.handleGetDeltas)
 	s.mux.HandleFunc("POST /optimize", s.handleOptimize)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	return s
 }
@@ -524,7 +547,13 @@ func (s *Server) register(req *CatalogRequest, id string, snap []byte) (*catalog
 	if err != nil {
 		return nil, err
 	}
+	if err := s.validateReplicateFrom(req.ReplicateFrom); err != nil {
+		return nil, err
+	}
 	sharedCache := req.SharedCache == nil || *req.SharedCache
+	if len(req.ReplicateFrom) > 0 && !sharedCache {
+		return nil, fmt.Errorf("replicate_from requires shared_cache: deltas merge into the shared plan cache")
+	}
 	// The catalog's effective retention: registration value, server
 	// default, or exact. Fixed here for the catalog's lifetime —
 	// requests assert it but cannot change it.
@@ -556,6 +585,7 @@ func (s *Server) register(req *CatalogRequest, id string, snap []byte) (*catalog
 		sharedCache: sharedCache,
 		retention:   retention,
 		sess:        sess,
+		instance:    newInstance(),
 		spec:        sanitizeSpec(req),
 	}
 	s.mu.Lock()
@@ -568,6 +598,12 @@ func (s *Server) register(req *CatalogRequest, id string, snap []byte) (*catalog
 	}
 	entry.id = id
 	s.catalogs[entry.id] = entry
+	if len(req.ReplicateFrom) > 0 {
+		// Deliberately after install and with no liveness check: a
+		// replica with every peer down is a degraded catalog that keeps
+		// trying, not a failed registration.
+		s.startReplicator(entry, req.ReplicateFrom)
+	}
 	return entry, nil
 }
 
@@ -610,12 +646,15 @@ func (s *Server) handleListCatalogs(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDeleteCatalog(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	s.mu.Lock()
-	_, ok := s.catalogs[id]
+	e, ok := s.catalogs[id]
 	delete(s.catalogs, id)
 	s.mu.Unlock()
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown catalog %q", id)
 		return
+	}
+	if e.repl != nil {
+		e.repl.stop()
 	}
 	// In-flight requests holding the entry finish normally; sessions
 	// are concurrency-safe and simply become collectable afterwards.
@@ -662,7 +701,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		cs := e.sess.CacheStats()
 		ps := e.sess.PoolStats()
 		resp.CacheBytes += cs.Bytes
-		resp.Catalogs = append(resp.Catalogs, CatalogStats{
+		st := CatalogStats{
 			CatalogInfo:        e.info(),
 			Requests:           e.requests.Load(),
 			Cache:              CacheStatsJSON{Sets: cs.Sets, Plans: cs.Plans, Bytes: cs.Bytes},
@@ -671,7 +710,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 				Pooled: ps.Pooled, HighWater: ps.HighWater,
 				Dropped: ps.Dropped, Limit: ps.Limit,
 			},
-		})
+		}
+		if e.repl != nil {
+			st.Replication = e.repl.stats()
+		}
+		resp.Catalogs = append(resp.Catalogs, st)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

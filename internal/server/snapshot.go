@@ -240,6 +240,10 @@ func (s *Server) LoadCheckpoint() error {
 	if s.cfg.SnapshotDir == "" {
 		return nil
 	}
+	// /readyz reports unready until the replay finishes: a router must
+	// not route to a node whose catalogs are still being registered.
+	s.replaying.Store(true)
+	defer s.replaying.Store(false)
 	manifests, err := filepath.Glob(filepath.Join(s.cfg.SnapshotDir, "*.json"))
 	if err != nil {
 		return err

@@ -136,7 +136,13 @@ func encodeStore(w []byte, ts TaggedStore) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	return appendSection(w, ts.Tag, state, buckets, 0, false)
+}
 
+// appendSection appends one store section (shared by the snapshot and
+// delta streams; a delta section carries one extra uvarint, the
+// replication cursor, right after the iteration counter).
+func appendSection(w []byte, tag string, state cache.StoreState, buckets []cache.BucketSnapshot, cursor uint64, delta bool) ([]byte, error) {
 	// Compact set renumbering: bucket sets first (ids 1..B in export
 	// order, so bucket sections need no explicit set reference), then
 	// every other set reached by the node walk.
@@ -152,7 +158,7 @@ func encodeStore(w []byte, ts TaggedStore) ([]byte, error) {
 	}
 	for _, bs := range buckets {
 		if _, dup := setID[bs.Set]; dup {
-			return nil, fmt.Errorf("snapshot: store %q exported bucket set %v twice", ts.Tag, bs.Set)
+			return nil, fmt.Errorf("snapshot: store %q exported bucket set %v twice", tag, bs.Set)
 		}
 		internSet(bs.Set)
 	}
@@ -180,7 +186,7 @@ func encodeStore(w []byte, ts TaggedStore) ([]byte, error) {
 		if dim < 0 {
 			dim = p.Cost.Dim()
 		} else if p.Cost.Dim() != dim {
-			return fmt.Errorf("snapshot: store %q mixes cost dimensions %d and %d", ts.Tag, dim, p.Cost.Dim())
+			return fmt.Errorf("snapshot: store %q mixes cost dimensions %d and %d", tag, dim, p.Cost.Dim())
 		}
 		internSet(p.Rel)
 		nodes = append(nodes, p)
@@ -198,11 +204,14 @@ func encodeStore(w []byte, ts TaggedStore) ([]byte, error) {
 		dim = 0
 	}
 
-	w = binary.AppendUvarint(w, uint64(len(ts.Tag)))
-	w = append(w, ts.Tag...)
+	w = binary.AppendUvarint(w, uint64(len(tag)))
+	w = append(w, tag...)
 	w = binary.LittleEndian.AppendUint64(w, math.Float64bits(state.Retention))
 	w = binary.AppendUvarint(w, state.Version)
 	w = binary.AppendUvarint(w, uint64(state.Iterations))
+	if delta {
+		w = binary.AppendUvarint(w, cursor)
+	}
 	w = append(w, byte(dim))
 	w = binary.AppendUvarint(w, uint64(len(sets)))
 	w = binary.AppendUvarint(w, uint64(numBuckets))
@@ -270,7 +279,7 @@ func Decode(data []byte, open OpenStore) (Header, error) {
 	}
 	prevTag := ""
 	for i := 0; i < nStores; i++ {
-		tag, err := r.decodeStore(open)
+		tag, _, err := r.decodeStore(open, false)
 		if err != nil {
 			return Header{}, err
 		}
@@ -298,18 +307,22 @@ type reader struct {
 // returns a reader positioned after the magic. Checking the CRC over
 // the entire body first makes corruption deterministic: a bit flip
 // anywhere fails here, before any structural parsing can run.
-func openFrame(data []byte) (*reader, error) {
-	if len(data) < len(magic)+4 {
+func openFrame(data []byte) (*reader, error) { return openFrameMagic(data, magic) }
+
+// openFrameMagic is openFrame for any of the package's stream magics
+// (the snapshot and delta streams share the frame layout).
+func openFrameMagic(data []byte, want string) (*reader, error) {
+	if len(data) < len(want)+4 {
 		return nil, ErrTruncated
 	}
-	if string(data[:len(magic)]) != magic {
+	if string(data[:len(want)]) != want {
 		return nil, ErrBadMagic
 	}
 	body, trailer := data[:len(data)-4], data[len(data)-4:]
 	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(trailer) {
 		return nil, ErrChecksum
 	}
-	return &reader{buf: body, off: len(magic)}, nil
+	return &reader{buf: body, off: len(want)}, nil
 }
 
 // header reads the version (rejecting anything but Version) and the
@@ -398,52 +411,61 @@ func (r *reader) f64(what string) (float64, error) {
 
 // decodeStore parses one store section and loads it into the store
 // returned by open. It returns the section's tag for order checking.
-func (r *reader) decodeStore(open OpenStore) (string, error) {
+// In delta mode the section carries a replication cursor (returned),
+// the target store may already be populated, and buckets merge through
+// the ordinary admission path instead of installing verbatim.
+func (r *reader) decodeStore(open OpenStore, delta bool) (string, uint64, error) {
 	tagLen, err := r.count("tag")
 	if err != nil {
-		return "", err
+		return "", 0, err
 	}
 	tagBytes, err := r.take(tagLen, "tag")
 	if err != nil {
-		return "", err
+		return "", 0, err
 	}
 	tag := string(tagBytes)
 	retBits, err := r.u64("retention")
 	if err != nil {
-		return "", err
+		return "", 0, err
 	}
 	retention := math.Float64frombits(retBits)
 	if !(retention >= 1) {
-		return "", fmt.Errorf("snapshot: store %q retention %v below 1", tag, retention)
+		return "", 0, fmt.Errorf("snapshot: store %q retention %v below 1", tag, retention)
 	}
 	version, err := r.uvarint("store version")
 	if err != nil {
-		return "", err
+		return "", 0, err
 	}
 	iters, err := r.uvarint("iteration counter")
 	if err != nil {
-		return "", err
+		return "", 0, err
 	}
 	if iters > math.MaxInt64 {
-		return "", fmt.Errorf("snapshot: store %q iteration counter %d overflows", tag, iters)
+		return "", 0, fmt.Errorf("snapshot: store %q iteration counter %d overflows", tag, iters)
+	}
+	var cursor uint64
+	if delta {
+		if cursor, err = r.uvarint("delta cursor"); err != nil {
+			return "", 0, err
+		}
 	}
 	dim, err := r.byte("cost dimension")
 	if err != nil {
-		return "", err
+		return "", 0, err
 	}
 	if int(dim) > cost.MaxMetrics {
-		return "", fmt.Errorf("snapshot: store %q cost dimension %d exceeds %d", tag, dim, cost.MaxMetrics)
+		return "", 0, fmt.Errorf("snapshot: store %q cost dimension %d exceeds %d", tag, dim, cost.MaxMetrics)
 	}
 	numSets, err := r.count("set")
 	if err != nil {
-		return "", err
+		return "", 0, err
 	}
 	numBuckets, err := r.count("bucket")
 	if err != nil {
-		return "", err
+		return "", 0, err
 	}
 	if numBuckets > numSets {
-		return "", fmt.Errorf("snapshot: store %q has %d buckets over %d sets", tag, numBuckets, numSets)
+		return "", 0, fmt.Errorf("snapshot: store %q has %d buckets over %d sets", tag, numBuckets, numSets)
 	}
 
 	sets := make([]tableset.Set, numSets+1)
@@ -451,15 +473,15 @@ func (r *reader) decodeStore(open OpenStore) (string, error) {
 	for k := 1; k <= numSets; k++ {
 		lo, err := r.uvarint("set")
 		if err != nil {
-			return "", err
+			return "", 0, err
 		}
 		hi, err := r.uvarint("set")
 		if err != nil {
-			return "", err
+			return "", 0, err
 		}
 		s := tableset.FromWords(lo, hi)
 		if s.IsEmpty() || seen[s] {
-			return "", fmt.Errorf("snapshot: store %q set table entry %d empty or duplicate", tag, k)
+			return "", 0, fmt.Errorf("snapshot: store %q set table entry %d empty or duplicate", tag, k)
 		}
 		seen[s] = true
 		sets[k] = s
@@ -468,10 +490,10 @@ func (r *reader) decodeStore(open OpenStore) (string, error) {
 	state := cache.StoreState{Retention: retention, Version: version, Iterations: int64(iters)}
 	sh, err := open(tag, state)
 	if err != nil {
-		return "", fmt.Errorf("snapshot: opening store %q: %w", tag, err)
+		return "", 0, fmt.Errorf("snapshot: opening store %q: %w", tag, err)
 	}
 	if sh.Retention() != retention {
-		return "", fmt.Errorf("snapshot: store %q opened with retention %v, snapshot has %v", tag, sh.Retention(), retention)
+		return "", 0, fmt.Errorf("snapshot: store %q opened with retention %v, snapshot has %v", tag, sh.Retention(), retention)
 	}
 	// Intern every set in compact-id order before building nodes: on the
 	// fresh interner a restore targets, this reproduces the dense id
@@ -480,22 +502,22 @@ func (r *reader) decodeStore(open OpenStore) (string, error) {
 	ids := make([]tableset.ID, numSets+1)
 	for k := 1; k <= numSets; k++ {
 		if ids[k] = sh.Interner().Intern(sets[k]); ids[k] == tableset.NoID {
-			return "", fmt.Errorf("snapshot: store %q set %v exceeds interner capacity", tag, sets[k])
+			return "", 0, fmt.Errorf("snapshot: store %q set %v exceeds interner capacity", tag, sets[k])
 		}
 	}
 
 	numNodes, err := r.count("node")
 	if err != nil {
-		return "", err
+		return "", 0, err
 	}
 	if numNodes > 0 && dim == 0 {
-		return "", fmt.Errorf("snapshot: store %q has plan nodes but cost dimension 0", tag)
+		return "", 0, fmt.Errorf("snapshot: store %q has plan nodes but cost dimension 0", tag)
 	}
 	nodes := make([]*plan.Plan, numNodes+1)
 	for k := 1; k <= numNodes; k++ {
 		p, err := r.decodeNode(tag, sets, ids, nodes[:k], int(dim))
 		if err != nil {
-			return "", err
+			return "", 0, err
 		}
 		nodes[k] = p
 	}
@@ -503,11 +525,11 @@ func (r *reader) decodeStore(open OpenStore) (string, error) {
 	for i := 1; i <= numBuckets; i++ {
 		bs := cache.BucketSnapshot{Set: sets[i]}
 		if bs.Epoch, err = r.uvarint("bucket epoch"); err != nil {
-			return "", err
+			return "", 0, err
 		}
 		numPlans, err := r.count("plan")
 		if err != nil {
-			return "", err
+			return "", 0, err
 		}
 		bs.Plans = make([]*plan.Plan, numPlans)
 		bs.Epochs = make([]uint64, numPlans)
@@ -515,28 +537,36 @@ func (r *reader) decodeStore(open OpenStore) (string, error) {
 		for j := 0; j < numPlans; j++ {
 			ref, err := r.uvarint("plan node ref")
 			if err != nil {
-				return "", err
+				return "", 0, err
 			}
 			if ref < 1 || ref > uint64(numNodes) {
-				return "", fmt.Errorf("snapshot: store %q bucket %d references node %d of %d", tag, i, ref, numNodes)
+				return "", 0, fmt.Errorf("snapshot: store %q bucket %d references node %d of %d", tag, i, ref, numNodes)
 			}
-			delta, err := r.uvarint("admission epoch delta")
+			step, err := r.uvarint("admission epoch delta")
 			if err != nil {
-				return "", err
+				return "", 0, err
 			}
-			if delta == 0 || delta > math.MaxUint64-prev {
-				return "", fmt.Errorf("snapshot: store %q bucket %d epoch delta %d invalid", tag, i, delta)
+			if step == 0 || step > math.MaxUint64-prev {
+				return "", 0, fmt.Errorf("snapshot: store %q bucket %d epoch delta %d invalid", tag, i, step)
 			}
 			bs.Plans[j] = nodes[ref]
-			prev += delta
+			prev += step
 			bs.Epochs[j] = prev
 		}
-		if err := sh.ImportBucket(bs); err != nil {
-			return "", fmt.Errorf("snapshot: store %q: %w", tag, err)
+		if delta {
+			if _, err := sh.MergeBucket(bs); err != nil {
+				return "", 0, fmt.Errorf("snapshot: store %q: %w", tag, err)
+			}
+		} else if err := sh.ImportBucket(bs); err != nil {
+			return "", 0, fmt.Errorf("snapshot: store %q: %w", tag, err)
 		}
 	}
-	sh.RestoreState(state)
-	return tag, nil
+	if delta {
+		sh.MergeState(state)
+	} else {
+		sh.RestoreState(state)
+	}
+	return tag, cursor, nil
 }
 
 // decodeNode parses and validates one plan node. built holds the nodes

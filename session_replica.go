@@ -1,0 +1,114 @@
+package rmq
+
+import (
+	"fmt"
+
+	"rmq/internal/cache"
+	"rmq/internal/snapshot"
+	"rmq/internal/tableset"
+)
+
+// Session-level replication: the rmq-delt/v1 exchange that keeps a warm
+// replica session converged on a primary session over the same catalog.
+// Where Snapshot/Restore move a whole cache history into a *fresh*
+// session, EncodeDeltas/ApplyDeltas move incremental changes into a
+// *live* one: shipped frontiers merge through the ordinary admission
+// path, so the exchange is idempotent, tolerates repeated or overlapping
+// pulls, and can only grow the replica's frontiers toward the primary's
+// — never corrupt them. A replica that missed deltas (partition, primary
+// restart) simply pulls from cursor zero again: the full pull carries
+// the same frontiers a snapshot bootstrap would, through the same merge
+// path.
+
+// DeltaApply reports one applied delta stream.
+type DeltaApply struct {
+	// Instance is the sender's incarnation id; cursors below are only
+	// meaningful against this instance.
+	Instance uint64
+	// Cursors holds, per metric-subset tag, the watermark to present as
+	// `since` on the next pull.
+	Cursors map[string]uint64
+	// Admitted is the net plan growth the delta caused — an activity
+	// signal (approximate under concurrent eviction), not an exact count.
+	Admitted int
+}
+
+// EncodeDeltas serializes every shared store's changes since the given
+// per-subset cursors (missing entries pull from zero) into an
+// rmq-delt/v1 stream stamped with the catalog fingerprint and the given
+// instance id. It returns the stream and the cursors a puller should
+// present next time. Like Snapshot, it is safe concurrently with
+// running Optimize calls and returns a valid (empty) stream for a
+// session that never enabled WithSharedCache.
+func (s *Session) EncodeDeltas(instance uint64, since map[string]uint64) ([]byte, map[string]uint64, error) {
+	s.mu.Lock()
+	stores := make([]snapshot.TaggedDelta, 0, len(s.shared))
+	for tag, sh := range s.shared {
+		stores = append(stores, snapshot.TaggedDelta{Tag: tag, Store: sh, Since: since[tag]})
+	}
+	s.mu.Unlock()
+	return snapshot.EncodeDeltas(s.cat.Fingerprint(), instance, stores)
+}
+
+// DeltaCursors returns the current replication watermark of every
+// shared store. A presented cursor above the store's current watermark
+// cannot have come from this store's history — servers use that to
+// detect cursors from another incarnation.
+func (s *Session) DeltaCursors() map[string]uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]uint64, len(s.shared))
+	for tag, sh := range s.shared {
+		out[tag] = sh.DeltaCursor()
+	}
+	return out
+}
+
+// ApplyDeltas merges an EncodeDeltas stream into the session's live
+// shared stores, creating stores for metric subsets the session has not
+// touched yet (at the stream's retention — the same policy Restore
+// applies). The stream must carry the session catalog's fingerprint
+// (ErrSnapshotMismatch otherwise); a store whose retention disagrees
+// with the stream's is refused. Malformed input is rejected without
+// panicking; a mid-stream failure leaves already-merged sections in
+// place, which is safe (every merged plan passed ordinary admission) —
+// the puller retries from its previous cursors.
+func (s *Session) ApplyDeltas(data []byte) (DeltaApply, error) {
+	h, err := snapshot.PeekDelta(data)
+	if err != nil {
+		return DeltaApply{}, fmt.Errorf("rmq: %w", err)
+	}
+	if want := s.cat.Fingerprint(); h.Fingerprint != want {
+		return DeltaApply{}, fmt.Errorf("rmq: %w (delta fingerprint %016x, catalog %016x)",
+			ErrSnapshotMismatch, h.Fingerprint, want)
+	}
+	before := s.CacheStats().Plans
+	_, cursors, err := snapshot.DecodeDeltas(data, func(tag string, st cache.StoreState) (*cache.Shared, error) {
+		if err := validMetricsTag(tag); err != nil {
+			return nil, err
+		}
+		return s.sharedCacheForTag(tag, st.Retention), nil
+	})
+	if err != nil {
+		return DeltaApply{}, fmt.Errorf("rmq: %w", err)
+	}
+	after := s.CacheStats().Plans
+	return DeltaApply{Instance: h.Instance, Cursors: cursors, Admitted: after - before}, nil
+}
+
+// sharedCacheForTag returns the live store for a metric-subset tag,
+// creating one at the given retention when absent. Unlike sharedCache
+// it is keyed by raw tag (the wire form), not by run configuration.
+func (s *Session) sharedCacheForTag(tag string, retention float64) *cache.Shared {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sh := s.shared[tag]; sh != nil {
+		return sh
+	}
+	sh := cache.NewShared(tableset.NewSharedInterner(), retention)
+	if s.shared == nil {
+		s.shared = make(map[string]*cache.Shared)
+	}
+	s.shared[tag] = sh
+	return sh
+}

@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -60,6 +61,7 @@ func main() {
 		allowFetch     = flag.Bool("allow-snapshot-fetch", false, "allow registrations carrying snapshot_url or replicate_from to fetch warm state from another rmqd (outbound requests to caller-supplied URLs)")
 		replEvery      = flag.Duration("replicate-interval", time.Second, "how often catalogs registered with replicate_from pull cache deltas from their peers")
 		faults         = flag.String("faults", "", "fault-injection profile for chaos runs, e.g. 'server.optimize=panic@0.01;checkpoint.write=enospc@0.3' (also via RMQ_FAULTS)")
+		pprofAddr      = flag.String("pprof-addr", "", "listen address for the net/http/pprof diagnostics server (empty = disabled); bind it to loopback, the endpoints are unauthenticated")
 		quiet          = flag.Bool("quiet", false, "suppress per-event logging")
 	)
 	flag.Parse()
@@ -137,6 +139,28 @@ func main() {
 				}
 			}
 		}()
+	}
+
+	// Profiling listener: a separate server on its own address so the
+	// pprof endpoints never share a port (or a handler namespace) with
+	// the serving API. Off by default; registration happens on an
+	// explicit mux rather than http.DefaultServeMux so nothing else in
+	// the process can leak handlers onto it.
+	if *pprofAddr != "" {
+		pprofMux := http.NewServeMux()
+		pprofMux.HandleFunc("/debug/pprof/", pprof.Index)
+		pprofMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pprofMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pprofMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pprofMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pprofSrv := &http.Server{Addr: *pprofAddr, Handler: pprofMux, ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			logger.Printf("pprof on %s", *pprofAddr)
+			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Printf("pprof serve: %v", err)
+			}
+		}()
+		defer pprofSrv.Close()
 	}
 
 	errc := make(chan error, 1)

@@ -62,6 +62,59 @@ func helper() int {
 
 func coldPath() int { return 3 }
 
+// columns mimics the cost package's struct-of-arrays block: the batch
+// kernels below are the shape the analyzer must keep honest — a
+// column sweep that quietly grows or copies its input heap-allocates
+// per probe, which is exactly what the hot admission path must not do.
+type columns struct {
+	col [4][]float64
+	n   int
+}
+
+//rmq:hotpath
+func (c *columns) dominatesAnyBad(v [4]float64) bool {
+	// A kernel that materializes a scratch copy of its columns
+	// allocates on every probe; the analyzer must flag it even though
+	// the sweep itself is branch-free.
+	scratch := make([]float64, c.n) // want `make allocates in hot path`
+	copy(scratch, c.col[0][:c.n])
+	for i, x := range scratch {
+		if x <= v[0] && c.col[1][i] <= v[1] {
+			return true
+		}
+	}
+	return false
+}
+
+//rmq:hotpath
+func (c *columns) appendEntry(v [4]float64) {
+	for d := range c.col {
+		c.col[d] = append(c.col[d], v[d]) //rmq:allow-alloc(amortized column growth)
+	}
+	c.n++
+}
+
+//rmq:hotpath
+func (c *columns) sweep(b0, b1 float64) bool {
+	// The legitimate kernel shape: fixed-dimension sweep over existing
+	// columns, no allocation — and it reaches an unannotated helper
+	// whose hidden allocation must still be attributed to this root.
+	x0, x1 := c.col[0][:c.n], c.col[1][:c.n]
+	for i, x := range x0 {
+		if max(x-b0, x1[i]-b1) <= 0 {
+			return true
+		}
+	}
+	return c.spill()
+}
+
+// spill is unannotated but reached from the hot sweep: growing a
+// column inside a kernel helper is still a hot-path allocation.
+func (c *columns) spill() bool {
+	c.col[0] = append(c.col[0], 0) // want `append may grow its backing array in hot path \(reached from //rmq:hotpath sweep\)`
+	return false
+}
+
 // cold is never reached from a hot function, so its allocations are
 // fine.
 func cold(xs []int) []int {

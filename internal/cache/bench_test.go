@@ -1,0 +1,83 @@
+package cache
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"rmq/internal/cost"
+	"rmq/internal/plan"
+)
+
+// benchBucket populates an exact-retention bucket with a dense frontier
+// of n plans (two output classes, realistic tie-heavy vectors) and
+// returns it warmed: Prepare run and the sorted indexes built, the
+// state a probe burst inside approximateFrontiers sees.
+func benchBucket(n, dim int) (*Bucket, []cost.Vector) {
+	rng := rand.New(rand.NewPCG(uint64(n)*uint64(dim), 41))
+	c := New(nil)
+	b := c.Bucket(rel)
+	for i := 0; i < n; i++ {
+		vec := randVec(rng, dim)
+		b.Insert(mkPlan(rel, plan.OutputProp(rng.IntN(2)), vec.V[:dim]...), 1)
+	}
+	b.Prepare(1)
+	probes := make([]cost.Vector, 128)
+	for i := range probes {
+		probes[i] = randVec(rng, dim)
+	}
+	// Warm both class indexes so the loop measures probes, not builds.
+	b.Admits(probes[0], plan.Pipelined, 1)
+	b.Admits(probes[0], plan.Materialized, 1)
+	return b, probes
+}
+
+// BenchmarkAdmissionProbe measures one α-admission probe against a
+// 256-plan frontier — the dominant operation of recombination — through
+// the columnar bucket path (binary search, corner early-accept, batch
+// prefix sweep). The reference arm runs the naive per-plan scan
+// (WouldAdmit) over the same frontier and probes.
+func BenchmarkAdmissionProbe(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		dim  int
+	}{{"3d", 3}, {"4d", 4}} {
+		b.Run(bc.name, func(b *testing.B) {
+			bk, probes := benchBucket(256, bc.dim)
+			b.ReportAllocs()
+			b.ResetTimer()
+			hits := 0
+			for i := 0; i < b.N; i++ {
+				if bk.Admits(probes[i%len(probes)], plan.OutputProp(i%2), 1) {
+					hits++
+				}
+			}
+			benchSink = hits
+		})
+	}
+}
+
+// BenchmarkAdmissionProbeReference is the AoS arm of
+// BenchmarkAdmissionProbe: the naive per-plan reference scan over the
+// identical frontier and probe stream.
+func BenchmarkAdmissionProbeReference(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		dim  int
+	}{{"3d", 3}, {"4d", 4}} {
+		b.Run(bc.name, func(b *testing.B) {
+			bk, probes := benchBucket(256, bc.dim)
+			plans := bk.Plans()
+			b.ReportAllocs()
+			b.ResetTimer()
+			hits := 0
+			for i := 0; i < b.N; i++ {
+				if WouldAdmit(plans, probes[i%len(probes)], plan.OutputProp(i%2), 1) {
+					hits++
+				}
+			}
+			benchSink = hits
+		})
+	}
+}
+
+var benchSink int

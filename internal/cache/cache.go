@@ -25,6 +25,26 @@
 // dominates every member, so a member α-dominating the candidate
 // implies the corner does too — if the corner fails, every member
 // fails), and otherwise scans only that prefix, strongest plans first.
+//
+// The frontier data layout is columnar: every bucket mirrors, per
+// output representation, its plans' cost vectors in a cost.Columns
+// block (one contiguous column per metric, parallel to admission
+// order), and the admission, pruning and eviction predicates run as
+// batch kernels over those columns instead of dereferencing a plan
+// pointer per comparison. The mirrors are pure derived state,
+// maintained incrementally under the same lock discipline as the plan
+// slices they shadow: admissions append, evictions compact in
+// lockstep with the surviving plans, and wholesale rewrites (shed,
+// snapshot import) rebuild them from the plan slice (rebuildMirrors) —
+// the wire formats serialize plans only. The sorted index keeps its
+// own column mirror plus a corner block computed by one prefix-min
+// sweep, and the α-cell grid coordinates are batch-computed at
+// Prepare. Eviction is additionally pre-checked through the class
+// columns (DominatesAny): a new plan that dominates no same-output
+// plan cannot evict anything, so the per-plan strict-dominance walk is
+// skipped — on the frontier's fast path an admission costs one batch
+// sweep.
+//
 // The index is lazy: frontiers at or below the linear-scan cutoff are
 // probed with the plain reference scan and carry no index at all, and
 // an admission merely invalidates the class index until the next
@@ -163,32 +183,42 @@ const linearScanCutoff = 12
 // incremental). Only pathologically long runs on huge queries reach it.
 const maxRecombStates = 4096
 
-// outIdx is the per-output-representation dominance index of a bucket:
-// the frontier sorted ascending by the first cost metric, with
-// corners[i] holding the component-wise minimum of sorted[:i+1]. It is
-// built lazily — only once a bucket's per-output frontier outgrows the
-// linear-scan cutoff does an admission probe pay the one-time sort —
-// and an admission to the output class simply invalidates it, so the
-// small buckets that dominate cold runs never maintain an index at all.
-type outIdx struct {
-	sorted  []*plan.Plan
-	corners []cost.Vector
+// recombLinearCutoff is the partition-memo size up to which lookups
+// scan the memo slice directly instead of hashing a bucketPair map key.
+// Most buckets see a handful of partitions for the lifetime of a run,
+// and the steady-state re-approximation loop performs one lookup per
+// join node per iteration — the map hash was its single largest cost.
+const recombLinearCutoff = 8
+
+// outClass is the live struct-of-arrays mirror of one output class of a
+// bucket: the class's plans in admission order next to a cost.Columns
+// block holding their cost vectors column-wise. Every dominance
+// predicate of Algorithm 3 (SigBetter, the WouldAdmit scan) compares
+// only same-output plans, so per-class columns cover all of admission
+// and eviction: Admits sweeps cols with a batch kernel instead of
+// filtering the pointer slice, and Insert pre-checks eviction with
+// DominatesAny before walking a single plan. The mirror is maintained
+// incrementally on every admission and eviction (and rebuilt wholesale
+// by shed and ImportBucket), under the same per-bucket lock the plan
+// slice already lives behind.
+type outClass struct {
+	plans []*plan.Plan
+	cols  cost.Columns
 }
 
-// rebuildCorners recomputes the prefix-min corners for the sorted
-// frontier.
-func (ix *outIdx) rebuildCorners() {
-	if cap(ix.corners) < len(ix.sorted) {
-		ix.corners = make([]cost.Vector, len(ix.sorted), 2*len(ix.sorted)) //rmq:allow-alloc(amortized index rebuild; rebuilt only after admissions outgrow the cutoff)
-	}
-	ix.corners = ix.corners[:len(ix.sorted)]
-	for i, p := range ix.sorted {
-		c := p.Cost
-		if i > 0 {
-			c = ix.corners[i-1].Min(c)
-		}
-		ix.corners[i] = c
-	}
+// outIdx is the per-output-representation dominance index of a bucket:
+// the class frontier sorted ascending by the first cost metric, as a
+// plan slice plus a column mirror in sorted order, with corners[i]
+// holding the component-wise minimum of sorted[:i+1] (also column-wise,
+// computed by one PrefixMinInto sweep). It is built lazily — only once
+// a bucket's per-output frontier outgrows the linear-scan cutoff does
+// an admission probe pay the one-time sort — and an admission to the
+// output class simply invalidates it, so the small buckets that
+// dominate cold runs never maintain an index at all.
+type outIdx struct {
+	sorted  []*plan.Plan
+	cols    cost.Columns
+	corners cost.Columns
 }
 
 // gridKey addresses one logarithmic cost cell of one output
@@ -206,10 +236,11 @@ type bucketPair struct {
 	outer, inner *Bucket
 }
 
-// recombState remembers one partition's last visit: how far into each
-// child frontier the pairs have been offered, and the coarsest α any of
-// those offers still covers exactly.
+// recombState remembers one partition's last visit: which partition it
+// is, how far into each child frontier the pairs have been offered, and
+// the coarsest α any of those offers still covers exactly.
 type recombState struct {
+	key                  bucketPair
 	outerMark, innerMark uint64
 	// covered is the maximum α at which any already-formed pair was last
 	// offered. Offers at α' ≥ covered of previously offered pairs are
@@ -259,9 +290,11 @@ type Bucket struct {
 	dirty    bool
 	syncMark uint64
 
-	// counts tracks the per-output frontier sizes; the admission path
-	// uses them to pick linear scan vs index without touching the index.
-	counts [plan.NumOutputProps]int32
+	// byOut mirrors the frontier per output class in struct-of-arrays
+	// form (see outClass); len(byOut[out].plans) is also the per-class
+	// size the admission path branches on. Maintained only for indexed
+	// buckets — the naive reference keeps the paper's literal loops.
+	byOut [plan.NumOutputProps]outClass
 	// corner is the running component-wise minimum over every admission.
 	// Evictions may leave it lower than the current frontier's true
 	// minimum, which only loosens (never unsounds) the floors built on
@@ -274,9 +307,16 @@ type Bucket struct {
 	grid      map[gridKey]*plan.Plan
 	gridAlpha float64
 	gridInv   float64 // 1/ln(gridAlpha)
+	// cellBuf is Prepare's scratch for batch-computed α-cell
+	// coordinates, reused across rebuilds.
+	cellBuf [][cost.MaxMetrics]int16
 
 	recombs   []recombState
 	recombIdx map[bucketPair]int
+
+	// scanCovered is the finest α at which the bucket's full scan-
+	// operator set has been offered (0 = never); see BeginScans.
+	scanCovered float64
 }
 
 // Plans returns the bucket's frontier in admission order; callers must
@@ -348,8 +388,24 @@ func (b *Bucket) Prepare(alpha float64) {
 	} else {
 		clear(b.grid)
 	}
-	for _, p := range b.plans {
-		b.grid[gridKey{p.Output, p.Cost.Cells(b.gridInv)}] = p
+	// Batch-compute the cell coordinates per class with one column sweep
+	// instead of one Cells call per plan. Within a class the admission
+	// order is preserved, and cross-class entries never share a key (out
+	// is part of it), so the last-writer-per-cell result is identical to
+	// the admission-ordered walk over b.plans.
+	for out := range b.byOut {
+		oc := &b.byOut[out]
+		if len(oc.plans) == 0 {
+			continue
+		}
+		if cap(b.cellBuf) < len(oc.plans) {
+			b.cellBuf = make([][cost.MaxMetrics]int16, len(oc.plans), 2*len(oc.plans))
+		}
+		b.cellBuf = b.cellBuf[:len(oc.plans)]
+		oc.cols.CellsInto(b.gridInv, b.cellBuf)
+		for j, p := range oc.plans {
+			b.grid[gridKey{plan.OutputProp(out), b.cellBuf[j]}] = p
+		}
 	}
 }
 
@@ -359,14 +415,17 @@ func (b *Bucket) Prepare(alpha float64) {
 // work: an α-cell grid hit rejects in O(1), the sorted first-metric
 // index bounds the scan to the prefix that can still dominate, and the
 // prefix-min corner accepts clear newcomers without touching a single
-// plan.
+// plan. All scans run over the class's column mirror (cost.Columns)
+// with one fixed-dimension batch kernel call per probe, never over the
+// plan pointers.
 //
 //rmq:hotpath
 func (b *Bucket) Admits(vec cost.Vector, out plan.OutputProp, alpha float64) bool {
 	if b.naive {
 		return WouldAdmit(b.plans, vec, out, alpha)
 	}
-	n := int(b.counts[out])
+	oc := &b.byOut[out]
+	n := len(oc.plans)
 	if n == 0 {
 		return true
 	}
@@ -376,25 +435,9 @@ func (b *Bucket) Admits(vec cost.Vector, out plan.OutputProp, alpha float64) boo
 	}
 	if n <= linearScanCutoff {
 		// Small frontiers (the common case at coarse α, Lemma 6) are
-		// cheapest to scan directly, with zero index upkeep.
-		if len(b.plans) <= 2*linearScanCutoff {
-			return WouldAdmit(b.plans, vec, out, alpha)
-		}
-		// Class imbalance: the class is small but the bucket is not, so
-		// scan the class index instead of the whole bucket (rebuilt at
-		// most once per admission to the class; probes dominate). The
-		// ascending first metric ends the scan at the α-bound.
-		ix := b.ensureIdx(out)
-		bound := alpha * vec.V[0]
-		for _, p := range ix.sorted {
-			if p.Cost.V[0] > bound {
-				return true
-			}
-			if p.Cost.ApproxDominates(vec, alpha) {
-				return false
-			}
-		}
-		return true
+		// cheapest to sweep directly, with zero index upkeep: one batch
+		// kernel call over the class columns.
+		return !oc.cols.ApproxDominatedBy(vec, alpha)
 	}
 	if b.grid != nil && alpha == b.gridAlpha {
 		if rep := b.grid[gridKey{out, vec.Cells(b.gridInv)}]; rep != nil && rep.Cost.ApproxDominates(vec, alpha) {
@@ -408,10 +451,11 @@ func (b *Bucket) Admits(vec cost.Vector, out plan.OutputProp, alpha float64) boo
 	// and the index is sorted by exactly that metric.
 	ix := b.ensureIdx(out)
 	bound := alpha * vec.V[0]
+	col0 := ix.cols.Col(0)
 	lo, hi := 0, n
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
-		if ix.sorted[mid].Cost.V[0] > bound {
+		if col0[mid] > bound {
 			hi = mid
 		} else {
 			lo = mid + 1
@@ -420,17 +464,12 @@ func (b *Bucket) Admits(vec cost.Vector, out plan.OutputProp, alpha float64) boo
 	if lo == 0 {
 		return true
 	}
-	if !ix.corners[lo-1].ApproxDominates(vec, alpha) {
+	if !ix.corners.At(lo-1).ApproxDominates(vec, alpha) {
 		// The corner weakly dominates every prefix plan; if even it does
 		// not α-dominate the candidate, none of them can.
 		return true
 	}
-	for _, p := range ix.sorted[:lo] {
-		if p.Cost.ApproxDominates(vec, alpha) {
-			return false
-		}
-	}
-	return true
+	return !ix.cols.PrefixApproxDominatedBy(lo, vec, alpha)
 }
 
 // Indexed reports whether the bucket runs the dominance-indexed
@@ -451,23 +490,24 @@ func (b *Bucket) Corner() (cost.Vector, bool) {
 
 // ensureIdx returns the dominance index of the output class, rebuilding
 // it if admissions invalidated it since the last build. The rebuild is
-// a filter of the admission-ordered frontier plus one stable sort, so
-// ties on the first metric keep admission order.
+// a copy of the class's admission-ordered mirror plus one stable sort
+// (so ties on the first metric keep admission order), then two column
+// sweeps: the sorted cost columns and their prefix-min corners.
 func (b *Bucket) ensureIdx(out plan.OutputProp) *outIdx {
 	ix := &b.idx[out]
-	if len(ix.sorted) == int(b.counts[out]) {
+	oc := &b.byOut[out]
+	if len(ix.sorted) == len(oc.plans) {
 		return ix
 	}
-	ix.sorted = ix.sorted[:0]
-	for _, p := range b.plans {
-		if p.Output == out {
-			ix.sorted = append(ix.sorted, p) //rmq:allow-alloc(amortized index rebuild)
-		}
-	}
+	ix.sorted = append(ix.sorted[:0], oc.plans...)               //rmq:allow-alloc(amortized index rebuild)
 	slices.SortStableFunc(ix.sorted, func(a, c *plan.Plan) int { //rmq:allow-alloc(amortized index rebuild; the comparator does not escape)
 		return cmp.Compare(a.Cost.V[0], c.Cost.V[0])
 	})
-	ix.rebuildCorners()
+	ix.cols.Reset()
+	for _, p := range ix.sorted {
+		ix.cols.Append(p.Cost)
+	}
+	ix.cols.PrefixMinInto(&ix.corners)
 	return ix
 }
 
@@ -496,6 +536,14 @@ func (b *Bucket) AdmitsFloor(floor cost.Vector, out plan.OutputProp, alpha float
 // admitted. The surviving frontier is bit-identical to the naive
 // reference (same admission decision, same plans, same order).
 //
+// On indexed buckets the eviction walk is gated by a DominatesAny
+// column sweep over the new plan's output class: SigBetter requires
+// SameOutput, so when the new plan dominates no class member there is
+// provably nothing to evict and the per-plan walk is skipped entirely —
+// the common case, since most admissions extend the frontier rather
+// than replace part of it. The class mirror is updated in lockstep with
+// the plan slice either way.
+//
 //rmq:hotpath
 func (b *Bucket) Insert(newPlan *plan.Plan, alpha float64) bool {
 	if !b.Admits(newPlan.Cost, newPlan.Output, alpha) {
@@ -507,23 +555,44 @@ func (b *Bucket) Insert(newPlan *plan.Plan, alpha float64) bool {
 		b.plans = make([]*plan.Plan, 0, 8) //rmq:allow-alloc(one sized allocation on a bucket's first admission)
 		b.epochs = make([]uint64, 0, 8)    //rmq:allow-alloc(one sized allocation on a bucket's first admission)
 	}
-	// Evict plans the new one weakly dominates, preserving admission
-	// order; SigBetter requires SameOutput, so only one output class
-	// changes.
 	evicted := 0
-	keep := b.plans[:0]
-	keepEp := b.epochs[:0]
-	for i, p := range b.plans {
-		if SigBetter(newPlan, p, 1) {
-			evicted++
-		} else {
-			keep = append(keep, p) //rmq:allow-alloc(appends into b.plans[:0]; capacity already exists)
-			keepEp = append(keepEp, b.epochs[i])
+	out := newPlan.Output
+	oc := &b.byOut[out]
+	if b.naive || oc.cols.DominatesAny(newPlan.Cost) {
+		// Evict plans the new one weakly dominates, preserving admission
+		// order; SigBetter requires SameOutput, so only one output class
+		// changes and the class mirror compacts in lockstep (cj walks the
+		// class as a subsequence of the bucket's admission order).
+		keep := b.plans[:0]
+		keepEp := b.epochs[:0]
+		ck, cj := 0, 0
+		for i, p := range b.plans {
+			inClass := !b.naive && p.Output == out
+			if SigBetter(newPlan, p, 1) {
+				evicted++
+			} else {
+				keep = append(keep, p) //rmq:allow-alloc(appends into b.plans[:0]; capacity already exists)
+				keepEp = append(keepEp, b.epochs[i])
+				if inClass {
+					oc.plans[ck] = p
+					oc.cols.Move(ck, cj)
+					ck++
+				}
+			}
+			if inClass {
+				cj++
+			}
+		}
+		b.plans = keep
+		b.epochs = keepEp
+		if !b.naive {
+			oc.plans = oc.plans[:ck]
+			oc.cols.Truncate(ck)
 		}
 	}
-	b.plans = append(keep, newPlan) //rmq:allow-alloc(admission retains the plan; growth is amortized and the hot rejecting case returns before this)
+	b.plans = append(b.plans, newPlan) //rmq:allow-alloc(admission retains the plan; growth is amortized and the hot rejecting case returns before this)
 	b.epoch++
-	b.epochs = append(keepEp, b.epoch) //rmq:allow-alloc(admission retains the mark; growth is amortized)
+	b.epochs = append(b.epochs, b.epoch) //rmq:allow-alloc(admission retains the mark; growth is amortized)
 	if c := b.cache; c != nil {
 		c.plans += 1 - evicted
 		if c.track && !b.dirty {
@@ -532,8 +601,8 @@ func (b *Bucket) Insert(newPlan *plan.Plan, alpha float64) bool {
 		}
 	}
 	if !b.naive {
-		out := newPlan.Output
-		b.counts[out] += int32(1 - evicted)
+		oc.plans = append(oc.plans, newPlan) //rmq:allow-alloc(admission retains the plan in its class mirror; growth is amortized)
+		oc.cols.Append(newPlan.Cost)
 		// Invalidate the class index; the next over-cutoff probe
 		// rebuilds it. Small classes never build one at all.
 		b.idx[out].sorted = b.idx[out].sorted[:0]
@@ -554,29 +623,26 @@ func (b *Bucket) Insert(newPlan *plan.Plan, alpha float64) bool {
 
 // BeginRecomb plans an incremental recombination of this bucket from the
 // two child buckets at precision α: it looks up the partition's last
-// visit, reports which pair ranges still need offering (see Visit), and
-// records the children's current admission marks for the next visit.
-// Offering exactly the returned ranges yields a bucket state
-// bit-identical to recombining the full cross product on every visit,
-// provided pairs are offered in admission order with the old×new pairs
-// first (the order of the full product restricted to fresh pairs).
+// visit, fills v with the pair ranges that still need offering (see
+// Visit), and records the children's current admission marks for the
+// next visit. Offering exactly the returned ranges yields a bucket
+// state bit-identical to recombining the full cross product on every
+// visit, provided pairs are offered in admission order with the old×new
+// pairs first (the order of the full product restricted to fresh
+// pairs). v is an out-parameter so the steady-state loop — which Skips
+// almost every visit — never copies the full Visit through a return.
 //
 //rmq:hotpath
-func (b *Bucket) BeginRecomb(outer, inner *Bucket, alpha float64) Visit {
-	v := Visit{Outers: outer.plans, Inners: inner.plans}
-	key := bucketPair{outer, inner}
-	if b.recombIdx == nil {
-		b.recombIdx = make(map[bucketPair]int, 4) //rmq:allow-alloc(per-partition memo, created once per bucket)
-	}
-	i, ok := b.recombIdx[key]
-	if !ok {
+func (b *Bucket) BeginRecomb(outer, inner *Bucket, alpha float64, v *Visit) {
+	*v = Visit{Outers: outer.plans, Inners: inner.plans}
+	i := b.findRecomb(bucketPair{outer, inner})
+	if i < 0 {
 		v.Full = true
-		if len(b.recombs) >= maxRecombStates {
-			return v
-		}
-		b.recombIdx[key] = len(b.recombs)                                           //rmq:allow-alloc(per-partition memo, filled once per partition)
-		b.recombs = append(b.recombs, recombState{outer.epoch, inner.epoch, alpha}) //rmq:allow-alloc(per-partition memo, filled once per partition)
-		return v
+		b.addRecomb(bucketPair{outer, inner}, recombState{
+			key:       bucketPair{outer, inner},
+			outerMark: outer.epoch, innerMark: inner.epoch, covered: alpha,
+		})
+		return
 	}
 	st := &b.recombs[i]
 	if alpha < st.covered {
@@ -585,19 +651,88 @@ func (b *Bucket) BeginRecomb(outer, inner *Bucket, alpha float64) Visit {
 		st.covered = alpha
 		st.outerMark, st.innerMark = outer.epoch, inner.epoch
 		v.Full = true
-		return v
+		return
+	}
+	if outer.epoch == st.outerMark && inner.epoch == st.innerMark {
+		// Epoch counters unchanged means no admissions since the marks:
+		// the converged steady state, decided without the Since binary
+		// searches below. (Epochs above the marks can still yield empty
+		// suffixes when every newcomer was evicted again.)
+		v.Skip = true
+		return
 	}
 	v.NewOuters = outer.Since(st.outerMark)
 	v.NewInners = inner.Since(st.innerMark)
 	if len(v.NewOuters) == 0 && len(v.NewInners) == 0 {
 		v.Skip = true
-		return v
+		return
 	}
 	if alpha > st.covered {
 		st.covered = alpha
 	}
 	st.outerMark, st.innerMark = outer.epoch, inner.epoch
-	return v
+}
+
+// findRecomb returns the index of the partition's memo entry, or -1.
+// Small memos — almost all of them — are scanned linearly; only past
+// recombLinearCutoff does the bucket build and consult the map. The
+// linear scan replaces the aeshash-per-lookup that dominated the
+// steady-state profile.
+//
+//rmq:hotpath
+func (b *Bucket) findRecomb(key bucketPair) int {
+	if b.recombIdx != nil {
+		if i, ok := b.recombIdx[key]; ok {
+			return i
+		}
+		return -1
+	}
+	for i := range b.recombs {
+		if b.recombs[i].key == key {
+			return i
+		}
+	}
+	return -1
+}
+
+// addRecomb records a new partition's memo entry, upgrading the lookup
+// structure to a map once the memo outgrows the linear-scan cutoff.
+func (b *Bucket) addRecomb(key bucketPair, st recombState) {
+	if len(b.recombs) >= maxRecombStates {
+		return
+	}
+	if b.recombIdx != nil {
+		b.recombIdx[key] = len(b.recombs) //rmq:allow-alloc(per-partition memo, filled once per partition)
+	} else if len(b.recombs) == recombLinearCutoff {
+		b.recombIdx = make(map[bucketPair]int, 4*recombLinearCutoff) //rmq:allow-alloc(per-partition memo map, built once per bucket on outgrowing the linear scan)
+		for j := range b.recombs {
+			b.recombIdx[b.recombs[j].key] = j //rmq:allow-alloc(one-time map upgrade, amortized over the bucket's lifetime)
+		}
+		b.recombIdx[key] = len(b.recombs) //rmq:allow-alloc(one-time map upgrade, amortized over the bucket's lifetime)
+	}
+	b.recombs = append(b.recombs, st) //rmq:allow-alloc(per-partition memo, filled once per partition)
+}
+
+// BeginScans reports whether a scan-leaf visit at precision α must
+// offer the bucket's scan-operator set, and records the offer when it
+// does. Scan candidates are a fixed set with deterministic costs, so
+// once all of them have been offered at some α₀, re-offering at any
+// α ≥ α₀ is provably a no-op: a candidate rejected at α₀ stays rejected
+// (its dominator — or that dominator's surviving evictor, by transitive
+// weak dominance — still α-dominates it), and a candidate admitted at
+// α₀ left a same-output plan with its exact cost that re-rejects it at
+// any α ≥ 1. Only a finer α than every earlier offer can change the
+// outcome, so only that re-offers. Callers gate it on the same
+// incremental flag as BeginRecomb; the differential trajectory tests
+// hold the memoized and full paths bit-identical.
+//
+//rmq:hotpath
+func (b *Bucket) BeginScans(alpha float64) bool {
+	if b.scanCovered != 0 && alpha >= b.scanCovered {
+		return false
+	}
+	b.scanCovered = alpha
+	return true
 }
 
 // Cache is the plan cache P: for each table set, the frontier of

@@ -161,7 +161,8 @@ func TestBeginRecombVisitLifecycle(t *testing.T) {
 	inner.Insert(i1, 1)
 
 	// First visit: full cross product.
-	v := parent.BeginRecomb(outer, inner, 2)
+	var v Visit
+	parent.BeginRecomb(outer, inner, 2, &v)
 	if !v.Full || v.Skip {
 		t.Fatalf("first visit = %+v, want full", v)
 	}
@@ -170,19 +171,19 @@ func TestBeginRecombVisitLifecycle(t *testing.T) {
 	}
 
 	// Unchanged children at the same α: skip.
-	if v = parent.BeginRecomb(outer, inner, 2); !v.Skip {
+	if parent.BeginRecomb(outer, inner, 2, &v); !v.Skip {
 		t.Fatalf("unchanged children not skipped: %+v", v)
 	}
 	// Unchanged children at a coarser α: offers are still provably
 	// no-ops — skip.
-	if v = parent.BeginRecomb(outer, inner, 3); !v.Skip {
+	if parent.BeginRecomb(outer, inner, 3, &v); !v.Skip {
 		t.Fatalf("coarser α with unchanged children not skipped: %+v", v)
 	}
 
 	// A new outer plan: delta visit with the newcomer suffix.
 	o2 := mkPlan(tableset.Single(0), plan.Materialized, 9, 1)
 	outer.Insert(o2, 1)
-	v = parent.BeginRecomb(outer, inner, 3)
+	parent.BeginRecomb(outer, inner, 3, &v)
 	if v.Full || v.Skip {
 		t.Fatalf("changed children produced %+v, want delta", v)
 	}
@@ -194,19 +195,19 @@ func TestBeginRecombVisitLifecycle(t *testing.T) {
 	}
 
 	// Finer α than every earlier offer: full cross product again.
-	v = parent.BeginRecomb(outer, inner, 1.5)
+	parent.BeginRecomb(outer, inner, 1.5, &v)
 	if !v.Full {
 		t.Fatalf("finer α did not force a full visit: %+v", v)
 	}
 	// ... and thereafter the finer precision is covered.
-	if v = parent.BeginRecomb(outer, inner, 1.5); !v.Skip {
+	if parent.BeginRecomb(outer, inner, 1.5, &v); !v.Skip {
 		t.Fatalf("converged finer visit not skipped: %+v", v)
 	}
 
 	// A different partition of the same parent has its own state.
 	other := c.Bucket(tableset.Single(2))
 	other.Insert(mkPlan(tableset.Single(2), plan.Materialized, 3, 3), 1)
-	if v = parent.BeginRecomb(outer, other, 1.5); !v.Full {
+	if parent.BeginRecomb(outer, other, 1.5, &v); !v.Full {
 		t.Fatalf("fresh partition not full: %+v", v)
 	}
 }

@@ -1,0 +1,183 @@
+package cache
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"rmq/internal/cost"
+	"rmq/internal/plan"
+	"rmq/internal/tableset"
+)
+
+// checkMirrors verifies every struct-of-arrays invariant of an indexed
+// bucket: the per-class plan mirrors are exactly the class subsequences
+// of the admission-ordered frontier, the class cost columns match the
+// plan costs entry-wise, and any currently valid sorted index carries
+// column and corner blocks consistent with its plans.
+func checkMirrors(t *testing.T, b *Bucket) {
+	t.Helper()
+	if b.naive {
+		return
+	}
+	var seen [plan.NumOutputProps]int
+	for i, p := range b.plans {
+		oc := &b.byOut[p.Output]
+		j := seen[p.Output]
+		if j >= len(oc.plans) || oc.plans[j] != p {
+			t.Fatalf("plan %d (out %d): class mirror diverges at class slot %d", i, p.Output, j)
+		}
+		if oc.cols.At(j) != p.Cost {
+			t.Fatalf("plan %d (out %d): column mirror %v, plan cost %v", i, p.Output, oc.cols.At(j), p.Cost)
+		}
+		seen[p.Output]++
+	}
+	for out := range b.byOut {
+		oc := &b.byOut[out]
+		if seen[out] != len(oc.plans) {
+			t.Fatalf("class %d mirror holds %d plans, frontier has %d", out, len(oc.plans), seen[out])
+		}
+		if oc.cols.Len() != len(oc.plans) {
+			t.Fatalf("class %d columns hold %d entries, mirror %d plans", out, oc.cols.Len(), len(oc.plans))
+		}
+	}
+	for out := range b.idx {
+		ix := &b.idx[out]
+		oc := &b.byOut[out]
+		if len(ix.sorted) != len(oc.plans) || len(ix.sorted) == 0 {
+			continue // invalidated (or never built); ensureIdx rebuilds before use
+		}
+		if ix.cols.Len() != len(ix.sorted) || ix.corners.Len() != len(ix.sorted) {
+			t.Fatalf("class %d index: %d plans, %d cols, %d corners",
+				out, len(ix.sorted), ix.cols.Len(), ix.corners.Len())
+		}
+		corner := ix.sorted[0].Cost
+		for j, p := range ix.sorted {
+			if j > 0 {
+				if p.Cost.V[0] < ix.sorted[j-1].Cost.V[0] {
+					t.Fatalf("class %d index not sorted at %d", out, j)
+				}
+				corner = corner.Min(p.Cost)
+			}
+			if ix.cols.At(j) != p.Cost {
+				t.Fatalf("class %d index column %d: %v vs %v", out, j, ix.cols.At(j), p.Cost)
+			}
+			if ix.corners.At(j) != corner {
+				t.Fatalf("class %d corner %d: %v, want prefix-min %v", out, j, ix.corners.At(j), corner)
+			}
+		}
+	}
+}
+
+// TestBucketMirrorConsistency streams random admissions (with the
+// evictions and index rebuilds they trigger) through indexed buckets
+// across every dimension and the α extremes, re-verifying the full
+// mirror invariants throughout, then again after a shed pass.
+func TestBucketMirrorConsistency(t *testing.T) {
+	for dim := 1; dim <= cost.MaxMetrics; dim++ {
+		for _, alpha := range []float64{1, 2, 25} {
+			rng := rand.New(rand.NewPCG(uint64(dim)*31+uint64(alpha), 8))
+			c := New(nil)
+			b := c.Bucket(rel)
+			for i := 0; i < 300; i++ {
+				vec := randVec(rng, dim)
+				b.Insert(mkPlan(rel, plan.OutputProp(rng.IntN(2)), vec.V[:dim]...), alpha)
+				if i%16 == 0 {
+					// Force index builds the way probe bursts do.
+					b.Prepare(alpha)
+					b.Admits(randVec(rng, dim), plan.Pipelined, alpha)
+					b.Admits(randVec(rng, dim), plan.Materialized, alpha)
+					checkMirrors(t, b)
+				}
+			}
+			checkMirrors(t, b)
+			before := len(b.plans)
+			removed := b.shed(alpha * 2)
+			if got := len(b.plans); got != before-removed {
+				t.Fatalf("shed removed %d of %d but %d remain", removed, before, got)
+			}
+			checkMirrors(t, b)
+			// The shed bucket keeps admitting correctly against the rebuilt
+			// mirrors.
+			for i := 0; i < 50; i++ {
+				vec := randVec(rng, dim)
+				np := mkPlan(rel, plan.OutputProp(rng.IntN(2)), vec.V[:dim]...)
+				want := WouldAdmit(b.plans, np.Cost, np.Output, alpha)
+				if got := b.Admits(np.Cost, np.Output, alpha); got != want {
+					t.Fatalf("post-shed Admits=%v, reference=%v", got, want)
+				}
+				b.Insert(np, alpha)
+			}
+			checkMirrors(t, b)
+		}
+	}
+}
+
+// TestImportBucketRebuildsMirrors round-trips a populated store through
+// Export/ImportBucket and verifies the restored buckets carry fully
+// rebuilt column mirrors that answer admission probes identically to
+// the naive reference.
+func TestImportBucketRebuildsMirrors(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 4))
+	src := NewShared(tableset.NewSharedInterner(), 0)
+	c := New(src.Interner())
+	c.TrackDirty()
+	sync := src.NewSync()
+	rels := []tableset.Set{
+		tableset.Single(0),
+		tableset.FromSlice([]int{0, 1}),
+		tableset.FromSlice([]int{0, 1, 2}),
+	}
+	for i := 0; i < 200; i++ {
+		rel := rels[rng.IntN(len(rels))]
+		vec := randVec(rng, 3)
+		p := mkPlan(rel, plan.OutputProp(rng.IntN(2)), vec.V[:3]...)
+		p.RelID = src.Interner().Intern(rel)
+		c.Insert(p, 1.5)
+	}
+	sync.Publish(c)
+
+	dst := NewShared(tableset.NewSharedInterner(), 0)
+	var snaps []BucketSnapshot
+	if _, err := src.Export(func(bs BucketSnapshot) error {
+		snaps = append(snaps, bs)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, bs := range snaps {
+		// Re-home the plans the way the snapshot codec does: RelID must
+		// match the destination interner.
+		id := dst.Interner().Intern(bs.Set)
+		for _, p := range bs.Plans {
+			p.RelID = id
+		}
+		if err := dst.ImportBucket(bs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	restored := 0
+	dst.mu.RLock()
+	buckets := append([]*sharedBucket(nil), dst.buckets...)
+	dst.mu.RUnlock()
+	for _, sb := range buckets {
+		if sb == nil || len(sb.b.plans) == 0 {
+			continue
+		}
+		restored++
+		checkMirrors(t, &sb.b)
+		for i := 0; i < 100; i++ {
+			vec := randVec(rng, 3)
+			out := plan.OutputProp(rng.IntN(2))
+			for _, alpha := range []float64{1, 2, 25, math.Inf(1)} {
+				want := WouldAdmit(sb.b.plans, vec, out, alpha)
+				if got := sb.b.Admits(vec, out, alpha); got != want {
+					t.Fatalf("restored bucket: Admits=%v, reference=%v (α=%g)", got, want, alpha)
+				}
+			}
+		}
+	}
+	if restored != len(rels) {
+		t.Fatalf("restored %d buckets, want %d", restored, len(rels))
+	}
+}

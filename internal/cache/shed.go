@@ -105,10 +105,10 @@ func (s *Shared) Shed(alpha float64) (removed int) {
 // keeping a plan only when the plans kept so far would still admit it
 // under α — exactly the prune an admission sequence under retention α
 // would have produced. Admission order and ascending epochs are
-// preserved, the per-output counts are rebuilt, the class indexes and
-// the α-cell grid are invalidated (a grid rejection must never chain
-// through a plan this shed removed), and the corner stays: a lower
-// bound over a superset still bounds the survivors.
+// preserved, the per-output class mirrors are rebuilt wholesale, the
+// class indexes and the α-cell grid are invalidated (a grid rejection
+// must never chain through a plan this shed removed), and the corner
+// stays: a lower bound over a superset still bounds the survivors.
 func (b *Bucket) shed(alpha float64) (removed int) {
 	if len(b.plans) == 0 {
 		return 0
@@ -132,15 +132,49 @@ func (b *Bucket) shed(alpha float64) (removed int) {
 	if removed == 0 {
 		return 0
 	}
-	clear(b.counts[:])
-	for _, p := range b.plans {
-		b.counts[p.Output]++
-	}
+	b.rebuildMirrors()
 	for out := range b.idx {
 		b.idx[out].sorted = b.idx[out].sorted[:0]
-		b.idx[out].corners = b.idx[out].corners[:0]
+		b.idx[out].cols.Reset()
+		b.idx[out].corners.Reset()
 	}
 	b.grid = nil
 	b.gridAlpha = 0
 	return removed
+}
+
+// rebuildMirrors reconstructs the per-output class mirrors (plan
+// subsequences and cost columns) from the bucket's current frontier.
+// Bulk mutations that do not go through Insert — shed, snapshot import —
+// use it; admissions and evictions maintain the mirrors incrementally.
+func (b *Bucket) rebuildMirrors() {
+	if b.naive {
+		return
+	}
+	// Pre-size the mirrors to their exact final shape: one allocation
+	// per class plus one per column instead of amortized growth — a
+	// restore materializes hundreds of thousands of plans through this
+	// path, so the growth reallocations (and the garbage they strand)
+	// are worth counting out.
+	var counts [plan.NumOutputProps]int
+	for _, p := range b.plans {
+		counts[p.Output]++
+	}
+	for out := range b.byOut {
+		oc := &b.byOut[out]
+		clear(oc.plans[:cap(oc.plans)]) // keep dropped plans collectable
+		oc.plans = oc.plans[:0]
+		oc.cols.Reset()
+		if n := counts[out]; n > 0 {
+			if cap(oc.plans) < n {
+				oc.plans = make([]*plan.Plan, 0, n)
+			}
+			oc.cols.Grow(b.plans[0].Cost.N, n)
+		}
+	}
+	for _, p := range b.plans {
+		oc := &b.byOut[p.Output]
+		oc.plans = append(oc.plans, p)
+		oc.cols.Append(p.Cost)
+	}
 }

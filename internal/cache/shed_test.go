@@ -65,21 +65,22 @@ func TestShedReprunesAndCoversRemoved(t *testing.T) {
 	}
 
 	// Epochs stayed ascending (outstanding sync marks remain valid) and
-	// the derived counts match the survivors.
+	// the derived class mirrors match the survivors.
 	var last uint64
-	var total int32
+	var total int
 	for i, e := range sb.b.epochs {
 		if e <= last {
 			t.Fatalf("epochs not ascending at %d: %d after %d", i, e, last)
 		}
 		last = e
 	}
-	for _, c := range sb.b.counts {
-		total += c
+	for out := range sb.b.byOut {
+		total += len(sb.b.byOut[out].plans)
 	}
-	if int(total) != len(sb.b.plans) {
-		t.Errorf("counts sum %d, plans %d", total, len(sb.b.plans))
+	if total != len(sb.b.plans) {
+		t.Errorf("mirror sizes sum %d, plans %d", total, len(sb.b.plans))
 	}
+	checkMirrors(t, &sb.b)
 }
 
 func TestShedTightensFutureAdmissions(t *testing.T) {

@@ -179,7 +179,7 @@ func (c *Climber) genericParetoStep(p *plan.Plan) *plan.Plan {
 	inner := c.genericParetoStep(p.Inner)
 	rebuilt := p
 	if outer != p.Outer || inner != p.Inner {
-		rebuilt = c.model.NewJoinWithCard(mutate.PickRootOp(p.Join, inner.Output), outer, inner, p.Card)
+		rebuilt = c.model.NewJoinForSet(mutate.PickRootOp(p.Join, inner.Output), outer, inner, p.Card, p.Rel, p.RelID)
 	}
 	best := rebuilt
 	c.buf = mutate.AppendIn(c.cfg.Space, c.model, rebuilt, c.buf[:0])
@@ -217,7 +217,7 @@ func (c *Climber) paretoStep(p *plan.Plan) []*plan.Plan {
 			for _, inner := range innerPareto {
 				// Sub-plan mutations preserve table sets, so the node's
 				// output cardinality is unchanged.
-				rebuilt := c.model.NewJoinWithCard(mutate.PickRootOp(p.Join, inner.Output), outer, inner, p.Card)
+				rebuilt := c.model.NewJoinForSet(mutate.PickRootOp(p.Join, inner.Output), outer, inner, p.Card, p.Rel, p.RelID)
 				c.buf = mutate.Append(c.model, rebuilt, c.buf[:0])
 				for _, mutated := range c.buf {
 					result = c.prune(result, mutated)

@@ -85,7 +85,7 @@ func approximateFrontiers(m *costmodel.Model, p *plan.Plan, pc *cache.Cache, alp
 		bucket := pc.BucketFor(p)
 		var v cache.Visit
 		if incremental {
-			v = bucket.BeginRecomb(ob, ib, alpha)
+			bucket.BeginRecomb(ob, ib, alpha, &v)
 			if v.Skip {
 				return
 			}
@@ -94,14 +94,23 @@ func approximateFrontiers(m *costmodel.Model, p *plan.Plan, pc *cache.Cache, alp
 		}
 		bucket.Prepare(alpha)
 		if v.Full {
-			recombinePairs(m, bucket, ob, ib, v.Outers, v.Inners, p.Card, alpha)
+			recombinePairs(m, bucket, ob, ib, v.Outers, v.Inners, p, alpha)
 		} else {
 			oldOuters := v.Outers[:len(v.Outers)-len(v.NewOuters)]
-			recombinePairs(m, bucket, ob, ib, oldOuters, v.NewInners, p.Card, alpha)
-			recombinePairs(m, bucket, ob, ib, v.NewOuters, v.Inners, p.Card, alpha)
+			recombinePairs(m, bucket, ob, ib, oldOuters, v.NewInners, p, alpha)
+			recombinePairs(m, bucket, ob, ib, v.NewOuters, v.Inners, p, alpha)
 		}
 	} else {
 		bucket := pc.BucketFor(p)
+		// Scan leaves converge after one visit: the operator set and its
+		// costs never change, so the bucket memoizes the finest α offered
+		// (BeginScans) and later visits at same-or-coarser α skip the
+		// whole offer loop — the scan-leaf analogue of BeginRecomb's
+		// Skip, gated on the same incremental flag and equally
+		// trajectory-preserving.
+		if incremental && !bucket.BeginScans(alpha) {
+			return
+		}
 		for _, op := range plan.AllScanOps() {
 			// As with joins: cost first, materialize only on admission.
 			if !bucket.Admits(m.ScanCost(p.Table, op), op.Output(), alpha) {
@@ -114,7 +123,10 @@ func approximateFrontiers(m *costmodel.Model, p *plan.Plan, pc *cache.Cache, alp
 
 // recombinePairs offers every (outer, inner) pair over every applicable
 // join operator to the bucket, pricing candidates before materializing
-// them. card is the joint output cardinality of the bucket's table set.
+// them. parent is the join node being recombined: every pair unions to
+// its table set, so its cardinality, set and interned id are hoisted
+// out of the loop (admitted candidates materialize via NewJoinForSet
+// without re-hashing the set).
 //
 // Indexed buckets are pre-filtered through hierarchical admission
 // floors before any pricing happens: operator costs are the children's
@@ -128,10 +140,11 @@ func approximateFrontiers(m *costmodel.Model, p *plan.Plan, pc *cache.Cache, alp
 // costs two probes total. The filter only skips offers the bucket
 // provably rejects, so cache trajectories stay bit-identical to the
 // naive reference (the differential tests hold them together).
-func recombinePairs(m *costmodel.Model, bucket *cache.Bucket, ob, ib *cache.Bucket, outers, inners []*plan.Plan, card float64, alpha float64) {
+func recombinePairs(m *costmodel.Model, bucket *cache.Bucket, ob, ib *cache.Bucket, outers, inners []*plan.Plan, parent *plan.Plan, alpha float64) {
 	if len(outers) == 0 || len(inners) == 0 {
 		return
 	}
+	card := parent.Card
 	// Every plan of a bucket joins the same table set and therefore
 	// carries the same cardinality estimate, so the evaluator preparation
 	// is identical for every pair of the visit — hoist it (and the floor
@@ -198,7 +211,7 @@ func recombinePairs(m *costmodel.Model, bucket *cache.Bucket, ob, ib *cache.Buck
 				if !bucket.Admits(vec, op.Output(), alpha) {
 					continue
 				}
-				bucket.Insert(m.NewJoinWithCard(op, outer, inner, card), alpha)
+				bucket.Insert(m.NewJoinForSet(op, outer, inner, card, parent.Rel, parent.RelID), alpha)
 			}
 		}
 	}

@@ -8,6 +8,17 @@
 // p1 ≤ α·p2 component-wise. The α-approximate Pareto set and the
 // ε-indicator-style quality metric of Section 6.1 are built on these
 // relations (see internal/quality).
+//
+// Besides the scalar Vector relations the package provides Columns, a
+// struct-of-arrays block (one contiguous []float64 per metric, parallel
+// to append order) with batch forms of the same predicates:
+// ApproxDominatedBy and DominatesAny sweep a whole frontier per call,
+// PrefixMinInto produces the running corner minima of a sorted block,
+// and CellsInto batch-computes α-cell grid coordinates. The kernels
+// dispatch once per sweep on the block's fixed dimension (specialized
+// loops for 1–4 metrics with the α·vᵢ bounds hoisted) and decide
+// bit-identically to the per-Vector loops — the plan cache's admission
+// path is built on that equivalence.
 package cost
 
 import (

@@ -230,11 +230,52 @@ func TestQuickApproxDominanceMonotoneInAlpha(t *testing.T) {
 	}
 }
 
+// BenchmarkStrictlyDominates measures the scalar dominance predicate
+// over a realistic probe mix per dimension: dominated, undominated and
+// incomparable pairs in rotation, the way eviction walks actually hit
+// it, rather than a single always-true pair the branch predictor learns
+// after one iteration.
 func BenchmarkStrictlyDominates(b *testing.B) {
-	x := New(1, 2, 3)
-	y := New(2, 2, 3)
-	for i := 0; i < b.N; i++ {
-		_ = x.StrictlyDominates(y)
+	for _, bc := range []struct {
+		name  string
+		pairs [][2]Vector
+	}{
+		{"2d", [][2]Vector{
+			{New(1, 2), New(2, 3)}, // dominated
+			{New(5, 9), New(2, 3)}, // undominated
+			{New(1, 9), New(2, 3)}, // incomparable
+			{New(2, 3), New(2, 3)}, // equal: weakly but not strictly
+			{New(1, 3), New(2, 3)}, // tied second metric
+			{New(9, 1), New(2, 3)}, // incomparable, other side
+		}},
+		{"3d", [][2]Vector{
+			{New(1, 2, 3), New(2, 3, 4)},
+			{New(5, 9, 9), New(2, 3, 4)},
+			{New(1, 9, 3), New(2, 3, 4)},
+			{New(2, 3, 4), New(2, 3, 4)},
+			{New(1, 3, 4), New(2, 3, 4)},
+			{New(9, 1, 1), New(2, 3, 4)},
+		}},
+		{"4d", [][2]Vector{
+			{New(1, 2, 3, 4), New(2, 3, 4, 5)},
+			{New(5, 9, 9, 9), New(2, 3, 4, 5)},
+			{New(1, 9, 3, 4), New(2, 3, 4, 5)},
+			{New(2, 3, 4, 5), New(2, 3, 4, 5)},
+			{New(1, 3, 4, 5), New(2, 3, 4, 5)},
+			{New(9, 1, 1, 1), New(2, 3, 4, 5)},
+		}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			pairs := bc.pairs
+			hits := 0
+			for i := 0; i < b.N; i++ {
+				p := pairs[i%len(pairs)]
+				if p[0].StrictlyDominates(p[1]) {
+					hits++
+				}
+			}
+			sinkBool = hits > 0
+		})
 	}
 }
 
